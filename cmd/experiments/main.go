@@ -1,0 +1,77 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-out results] [-apps GEMM,SCP] [-seed 1] [ids...]
+//
+// With no ids, every experiment runs in paper order. Each experiment writes
+// <out>/<id>.txt plus any binary artifacts (e.g. Fig. 14's PGM images), and
+// echoes its output to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lazydram/internal/exp"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "results", "output directory")
+		apps = flag.String("apps", "", "comma-separated app subset (default: all)")
+		seed = flag.Int64("seed", 1, "workload input seed")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			e, _ := exp.Lookup(id)
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = exp.IDs()
+	}
+	opts := exp.Options{Seed: *seed}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+	runner := exp.NewRunner(opts)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for _, id := range ids {
+		e, ok := exp.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		f, err := os.Create(filepath.Join(*out, id+".txt"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := io.MultiWriter(os.Stdout, f)
+		fmt.Fprintf(w, "== %s — %s\n\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(runner, w, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			f.Close()
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\n[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		f.Close()
+	}
+}

@@ -1,0 +1,101 @@
+// Command lazysim runs one application under one scheduling scheme and
+// prints the canonical stat block, including the application error versus a
+// golden functional run.
+//
+// Usage:
+//
+//	lazysim -app GEMM -scheme dyn-both [-seed 1] [-queue 128] [-delay 128] [-thrbl 8]
+//
+// Schemes: baseline, static-dms, dyn-dms, static-ams, dyn-ams, static-both,
+// dyn-both, dms(X) via -scheme static-dms -delay X, ams(T) via
+// -scheme static-ams -thrbl T.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lazydram/internal/approx"
+	"lazydram/internal/mc"
+	"lazydram/internal/sim"
+	"lazydram/internal/workloads"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "GEMM", "application name (see -list)")
+		scheme = flag.String("scheme", "baseline", "scheduling scheme")
+		seed   = flag.Int64("seed", 1, "input RNG seed")
+		queue  = flag.Int("queue", 128, "pending queue size")
+		delay  = flag.Int("delay", 128, "static DMS delay (cycles)")
+		thrbl  = flag.Int("thrbl", 8, "static AMS Th_RBL")
+		list   = flag.Bool("list", false, "list applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			fmt.Printf("%-14s group %d\n", n, workloads.Group(n))
+		}
+		return
+	}
+
+	sch, err := ParseScheme(*scheme, *delay, *thrbl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kern, err := workloads.New(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.MC.QueueSize = *queue
+
+	start := time.Now()
+	res, err := sim.Simulate(kern, cfg, sch, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	goldenKern, _ := workloads.New(*app)
+	golden := sim.RunFunctional(goldenKern, *seed)
+	res.Run.AppError = approx.MeanRelativeError(golden, res.Output)
+
+	fmt.Print(res.Run.String())
+	fmt.Printf("  vp: %d predictions (%d fallbacks)\n", res.VPPredictions, res.VPFallbacks)
+	fmt.Printf("  wall: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// ParseScheme maps a scheme name to its configuration.
+func ParseScheme(name string, delay, thrbl int) (mc.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "baseline", "base":
+		return mc.Baseline, nil
+	case "static-dms", "dms":
+		s := mc.StaticDMS
+		s.StaticDelay = delay
+		return s, nil
+	case "dyn-dms":
+		return mc.DynDMS, nil
+	case "static-ams", "ams":
+		s := mc.StaticAMS
+		s.StaticThRBL = thrbl
+		return s, nil
+	case "dyn-ams":
+		return mc.DynAMS, nil
+	case "static-both", "both":
+		s := mc.StaticBoth
+		s.StaticDelay = delay
+		s.StaticThRBL = thrbl
+		return s, nil
+	case "dyn-both":
+		return mc.DynBoth, nil
+	default:
+		return mc.Scheme{}, fmt.Errorf("unknown scheme %q", name)
+	}
+}

@@ -1,0 +1,79 @@
+// Energy explorer: sweep the lazy scheduler's two knobs — the DMS delay and
+// the AMS RBL threshold — on one application and print the row-energy /
+// performance / accuracy trade-off surface, plus memory-technology
+// projections (GDDR5, HBM1, HBM2).
+//
+//	go run ./examples/energy_explorer [-app LPS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lazydram/internal/approx"
+	"lazydram/internal/energy"
+	"lazydram/internal/mc"
+	"lazydram/internal/sim"
+	"lazydram/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "LPS", "application to explore")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	kern, err := workloads.New(*app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden := sim.RunFunctional(kern, 1)
+
+	run := func(scheme mc.Scheme) *sim.Result {
+		k, _ := workloads.New(*app)
+		res, err := sim.Simulate(k, cfg, scheme, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Run.AppError = approx.MeanRelativeError(golden, res.Output)
+		return res
+	}
+	base := run(mc.Baseline)
+	norm := func(r *sim.Result) (rowE, ipc float64) {
+		return r.Run.RowEnergy / base.Run.RowEnergy, r.Run.IPC() / base.Run.IPC()
+	}
+
+	fmt.Printf("== %s: DMS delay sweep (exact results, performance trade-off)\n", *app)
+	fmt.Printf("%-10s %-12s %-10s\n", "delay", "norm-rowE", "norm-IPC")
+	for _, d := range []int{0, 64, 128, 256, 512, 1024, 2048} {
+		res := base
+		if d > 0 {
+			res = run(mc.Scheme{DMS: mc.Static, StaticDelay: d})
+		}
+		re, ipc := norm(res)
+		fmt.Printf("%-10d %-12.3f %-10.3f\n", d, re, ipc)
+	}
+
+	fmt.Printf("\n== %s: AMS Th_RBL sweep (10%% coverage cap, accuracy trade-off)\n", *app)
+	fmt.Printf("%-10s %-12s %-10s %-10s %-10s\n", "Th_RBL", "norm-rowE", "norm-IPC", "coverage", "app-error")
+	for th := 1; th <= 8; th *= 2 {
+		res := run(mc.Scheme{AMS: mc.Static, StaticThRBL: th, CoverageTarget: 0.10})
+		re, ipc := norm(res)
+		fmt.Printf("%-10d %-12.3f %-10.3f %-10.3f %-10.4f\n",
+			th, re, ipc, res.Run.Mem.Coverage(), res.Run.AppError)
+	}
+
+	best := run(mc.DynBoth)
+	re, ipc := norm(best)
+	fmt.Printf("\n== %s: Dyn-DMS+Dyn-AMS: rowE %.3f, IPC %.3f, error %.4f\n",
+		*app, re, ipc, best.Run.AppError)
+
+	fmt.Println("\n== memory-technology projection of that row-energy saving")
+	saving := 1 - re
+	fmt.Printf("%-8s %-18s %-14s %-14s\n", "tech", "mem-energy saving", "watts saved", "extra peak BW")
+	for _, prof := range []energy.Profile{energy.GDDR5(), energy.HBM1(), energy.HBM2()} {
+		s := prof.SystemSaving(saving)
+		w, gbs := energy.PeakBandwidthHeadroom(60, 900, s)
+		fmt.Printf("%-8s %-17.1f%% %-13.1fW %-13.0fGB/s\n", prof.Name, 100*s, w, gbs)
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: run one GPGPU application on the simulated GPU under the
+// baseline FR-FCFS scheduler and under the paper's combined lazy scheduler
+// (Dyn-DMS + Dyn-AMS), and compare row energy, performance, and output
+// quality.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lazydram/internal/approx"
+	"lazydram/internal/mc"
+	"lazydram/internal/sim"
+	"lazydram/internal/workloads"
+)
+
+func main() {
+	const app = "SCP" // scalar products: thrashes rows, tolerates error
+	const seed = 1
+
+	// The exact reference output: every kernel can be executed functionally,
+	// without the timing model, as a golden oracle.
+	kern, err := workloads.New(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden := sim.RunFunctional(kern, seed)
+
+	cfg := sim.DefaultConfig() // Table I of the paper
+	run := func(scheme mc.Scheme) *sim.Result {
+		k, _ := workloads.New(app)
+		res, err := sim.Simulate(k, cfg, scheme, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Run.AppError = approx.MeanRelativeError(golden, res.Output)
+		return res
+	}
+
+	base := run(mc.Baseline)
+	lazy := run(mc.DynBoth)
+
+	fmt.Printf("application: %s (group %d)\n\n", app, workloads.Group(app))
+	fmt.Printf("%-22s %-14s %-14s\n", "", "baseline", "Dyn-DMS+Dyn-AMS")
+	row := func(label string, b, l float64, format string) {
+		fmt.Printf("%-22s "+format+" "+format+"\n", label, b, l)
+	}
+	row("row activations", float64(base.Run.Mem.Activations), float64(lazy.Run.Mem.Activations), "%-14.0f")
+	row("avg row-buffer loc.", base.Run.Mem.AvgRBL(), lazy.Run.Mem.AvgRBL(), "%-14.2f")
+	row("row energy (uJ)", base.Run.RowEnergy/1e3, lazy.Run.RowEnergy/1e3, "%-14.1f")
+	row("IPC", base.Run.IPC(), lazy.Run.IPC(), "%-14.2f")
+	row("coverage", base.Run.Mem.Coverage(), lazy.Run.Mem.Coverage(), "%-14.3f")
+	row("application error", base.Run.AppError, lazy.Run.AppError, "%-14.4f")
+
+	saved := 1 - lazy.Run.RowEnergy/base.Run.RowEnergy
+	fmt.Printf("\nlazy scheduling saved %.1f%% row energy at %.2f%% output error\n",
+		100*saved, 100*lazy.Run.AppError)
+}

@@ -1,0 +1,3 @@
+module lazydram
+
+go 1.23

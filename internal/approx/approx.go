@@ -1,0 +1,143 @@
+// Package approx implements the approximation side of the lazy memory
+// scheduler: programmer annotations (the paper's pragma pred_var /
+// pred_coverage), the value-prediction unit that synthesizes data for
+// AMS-dropped requests from the nearest-address L2 line, and application
+// output-error metrics.
+package approx
+
+import (
+	"math"
+	"sort"
+
+	"lazydram/internal/cache"
+)
+
+// Range is a half-open address interval [Base, Base+Size).
+type Range struct {
+	Base uint64
+	Size uint64
+}
+
+// Annotations is the per-kernel approximability declaration: which buffers
+// may be value-predicted and the user-defined coverage limit. It mirrors the
+// paper's Listing 1 code annotations.
+type Annotations struct {
+	ranges   []Range // sorted by Base
+	Coverage float64 // user coverage cap (paper default 0.10)
+}
+
+// NewAnnotations creates an annotation set with the given coverage cap.
+func NewAnnotations(coverage float64) *Annotations {
+	return &Annotations{Coverage: coverage}
+}
+
+// Annotate marks [base, base+size) as approximable (pragma pred_var).
+func (a *Annotations) Annotate(base, size uint64) {
+	a.ranges = append(a.ranges, Range{Base: base, Size: size})
+	sort.Slice(a.ranges, func(i, j int) bool { return a.ranges[i].Base < a.ranges[j].Base })
+}
+
+// Approximable reports whether addr falls in an annotated range. A nil
+// receiver means nothing is approximable.
+func (a *Annotations) Approximable(addr uint64) bool {
+	if a == nil || len(a.ranges) == 0 {
+		return false
+	}
+	i := sort.Search(len(a.ranges), func(i int) bool { return a.ranges[i].Base > addr })
+	if i == 0 {
+		return false
+	}
+	r := a.ranges[i-1]
+	return addr < r.Base+r.Size
+}
+
+// Ranges returns a copy of the annotated ranges.
+func (a *Annotations) Ranges() []Range {
+	if a == nil {
+		return nil
+	}
+	return append([]Range(nil), a.ranges...)
+}
+
+// VPConfig configures a value-prediction unit.
+type VPConfig struct {
+	// SetRadius is how many L2 sets on either side of the home set are
+	// searched for the nearest-address line.
+	SetRadius int
+	// WarmFills is the number of L2 fills required before the unit reports
+	// ready (the paper warms the L2 before enabling AMS).
+	WarmFills uint64
+}
+
+// DefaultVPConfig returns the configuration used throughout the evaluation.
+func DefaultVPConfig() VPConfig { return VPConfig{SetRadius: 2, WarmFills: 512} }
+
+// VPUnit predicts the value of a dropped request's cache line from the
+// nearest-address line resident in the partition's L2 slice (Section IV-D).
+type VPUnit struct {
+	cfg VPConfig
+	l2  *cache.Cache
+
+	// Predictions counts predicted lines; Fallbacks counts predictions where
+	// no resident line was found and zero bytes were returned.
+	Predictions uint64
+	Fallbacks   uint64
+}
+
+// NewVPUnit creates a VP unit attached to an L2 slice.
+func NewVPUnit(cfg VPConfig, l2 *cache.Cache) *VPUnit {
+	return &VPUnit{cfg: cfg, l2: l2}
+}
+
+// Ready reports whether the L2 slice is warm enough to predict from.
+func (v *VPUnit) Ready() bool { return v.l2.Stats().Fills >= v.cfg.WarmFills }
+
+// Predict returns the 128-byte predicted content for the line containing
+// addr. When no nearby line is resident the prediction falls back to zeros.
+func (v *VPUnit) Predict(addr uint64) [cache.LineSize]byte {
+	v.Predictions++
+	if _, data, ok := v.l2.NearestLine(addr, v.cfg.SetRadius); ok {
+		return data
+	}
+	v.Fallbacks++
+	return [cache.LineSize]byte{}
+}
+
+// MeanRelativeError returns the paper's application-error metric: the average
+// relative error between the golden and approximate outputs. Non-finite
+// elements are skipped; a small epsilon guards division for near-zero golden
+// values.
+func MeanRelativeError(golden, got []float32) float64 {
+	if len(golden) != len(got) || len(golden) == 0 {
+		return math.NaN()
+	}
+	const (
+		eps    = 1e-6
+		maxRel = 10 // clamp so a few corrupted elements cannot dominate
+	)
+	var sum float64
+	n := 0
+	for i := range golden {
+		g, a := float64(golden[i]), float64(got[i])
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			continue // the exact computation itself is non-finite: skip
+		}
+		var d float64
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			// A finite value approximated by a non-finite one is maximal
+			// error, not a skip.
+			d = maxRel
+		} else {
+			d = math.Abs(a-g) / math.Max(math.Abs(g), eps)
+			if d > maxRel {
+				d = maxRel
+			}
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,150 @@
+package approx_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lazydram/internal/approx"
+	"lazydram/internal/cache"
+)
+
+func TestAnnotationsLookup(t *testing.T) {
+	a := approx.NewAnnotations(0.1)
+	a.Annotate(1000, 100)
+	a.Annotate(5000, 50)
+	tests := []struct {
+		addr uint64
+		want bool
+	}{
+		{999, false}, {1000, true}, {1099, true}, {1100, false},
+		{4999, false}, {5000, true}, {5049, true}, {5050, false},
+	}
+	for _, tt := range tests {
+		if got := a.Approximable(tt.addr); got != tt.want {
+			t.Errorf("Approximable(%d) = %v, want %v", tt.addr, got, tt.want)
+		}
+	}
+}
+
+func TestNilAnnotationsRejectEverything(t *testing.T) {
+	var a *approx.Annotations
+	if a.Approximable(0) || a.Approximable(12345) {
+		t.Fatal("nil annotations must reject all addresses")
+	}
+}
+
+func TestAnnotationsOutOfOrderInsert(t *testing.T) {
+	a := approx.NewAnnotations(0.1)
+	a.Annotate(5000, 10)
+	a.Annotate(100, 10)
+	a.Annotate(2000, 10)
+	for _, addr := range []uint64{100, 2000, 5000} {
+		if !a.Approximable(addr) {
+			t.Fatalf("address %d not found after out-of-order inserts", addr)
+		}
+	}
+}
+
+// Property: membership matches a brute-force scan of the declared ranges.
+func TestAnnotationsMatchBruteForce(t *testing.T) {
+	a := approx.NewAnnotations(0.1)
+	ranges := []approx.Range{{Base: 128, Size: 256}, {Base: 1024, Size: 64}, {Base: 4096, Size: 1}}
+	for _, r := range ranges {
+		a.Annotate(r.Base, r.Size)
+	}
+	f := func(raw uint16) bool {
+		addr := uint64(raw) % 8192
+		want := false
+		for _, r := range ranges {
+			if addr >= r.Base && addr < r.Base+r.Size {
+				want = true
+			}
+		}
+		return a.Approximable(addr) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVPUnitPredictsNearestLine(t *testing.T) {
+	l2 := cache.New(cache.Config{SizeBytes: 8 * 1024, Ways: 2})
+	data := make([]byte, cache.LineSize)
+	for i := range data {
+		data[i] = 0x5A
+	}
+	l2.Fill(10*128, data, false)
+	vp := approx.NewVPUnit(approx.VPConfig{SetRadius: 4, WarmFills: 1}, l2)
+	if !vp.Ready() {
+		t.Fatal("one fill should satisfy WarmFills=1")
+	}
+	got := vp.Predict(9 * 128)
+	if got[0] != 0x5A {
+		t.Fatal("prediction did not use the nearest line")
+	}
+	if vp.Predictions != 1 || vp.Fallbacks != 0 {
+		t.Fatalf("counters = %d/%d, want 1/0", vp.Predictions, vp.Fallbacks)
+	}
+}
+
+func TestVPUnitFallsBackToZeros(t *testing.T) {
+	l2 := cache.New(cache.Config{SizeBytes: 8 * 1024, Ways: 2})
+	vp := approx.NewVPUnit(approx.VPConfig{SetRadius: 1, WarmFills: 0}, l2)
+	got := vp.Predict(0)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("empty cache must predict zeros")
+		}
+	}
+	if vp.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", vp.Fallbacks)
+	}
+}
+
+func TestVPUnitWarmup(t *testing.T) {
+	l2 := cache.New(cache.Config{SizeBytes: 8 * 1024, Ways: 2})
+	vp := approx.NewVPUnit(approx.VPConfig{SetRadius: 1, WarmFills: 3}, l2)
+	if vp.Ready() {
+		t.Fatal("cold cache reported ready")
+	}
+	data := make([]byte, cache.LineSize)
+	for i := 0; i < 3; i++ {
+		l2.Fill(uint64(i)*128, data, false)
+	}
+	if !vp.Ready() {
+		t.Fatal("not ready after WarmFills fills")
+	}
+}
+
+func TestMeanRelativeError(t *testing.T) {
+	if got := approx.MeanRelativeError([]float32{1, 2}, []float32{1, 2}); got != 0 {
+		t.Fatalf("identical outputs: error %v, want 0", got)
+	}
+	got := approx.MeanRelativeError([]float32{2, 4}, []float32{1, 4})
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("error = %v, want 0.25", got)
+	}
+}
+
+func TestMeanRelativeErrorSkipsNonFinite(t *testing.T) {
+	g := []float32{1, float32(math.NaN()), 3}
+	a := []float32{1, 5, 3}
+	if got := approx.MeanRelativeError(g, a); got != 0 {
+		t.Fatalf("NaN element not skipped: %v", got)
+	}
+}
+
+func TestMeanRelativeErrorClampsOutliers(t *testing.T) {
+	g := []float32{1e-9}
+	a := []float32{1e9}
+	if got := approx.MeanRelativeError(g, a); got > 10 {
+		t.Fatalf("per-element error not clamped: %v", got)
+	}
+}
+
+func TestMeanRelativeErrorLengthMismatch(t *testing.T) {
+	if got := approx.MeanRelativeError([]float32{1}, []float32{1, 2}); !math.IsNaN(got) {
+		t.Fatalf("length mismatch must return NaN, got %v", got)
+	}
+}

@@ -1,0 +1,77 @@
+package approx_test
+
+import (
+	"testing"
+
+	"lazydram/internal/approx"
+	"lazydram/internal/cache"
+)
+
+func TestZeroPredictor(t *testing.T) {
+	var p approx.ZeroPredictor
+	if !p.Ready() {
+		t.Fatal("zero predictor must always be ready")
+	}
+	got := p.Predict(4096)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("zero predictor returned non-zero bytes")
+		}
+	}
+	if p.Predictions != 1 {
+		t.Fatalf("Predictions = %d, want 1", p.Predictions)
+	}
+}
+
+func TestLastValuePredictorLearns(t *testing.T) {
+	p := &approx.LastValuePredictor{WarmFills: 2}
+	if p.Ready() {
+		t.Fatal("ready before warm-up")
+	}
+	var line [cache.LineSize]byte
+	for i := range line {
+		line[i] = 0x7C
+	}
+	p.Observe(4096, &line)
+	p.Observe(4096+64*128, &line) // same bucket (64 buckets)
+	if !p.Ready() {
+		t.Fatal("not ready after WarmFills observations")
+	}
+	got := p.Predict(4096)
+	if got[0] != 0x7C || got[127] != 0x7C {
+		t.Fatal("last-value prediction did not return the observed line")
+	}
+}
+
+func TestLastValuePredictorFallsBack(t *testing.T) {
+	p := &approx.LastValuePredictor{}
+	got := p.Predict(0)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("empty history must predict zeros")
+		}
+	}
+	if p.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", p.Fallbacks)
+	}
+}
+
+func TestLastValuePredictorBuckets(t *testing.T) {
+	p := &approx.LastValuePredictor{}
+	var a, b [cache.LineSize]byte
+	a[0], b[0] = 1, 2
+	p.Observe(0, &a)
+	p.Observe(128, &b) // next line: different bucket
+	if got := p.Predict(0); got[0] != 1 {
+		t.Fatal("bucket 0 lost its line")
+	}
+	if got := p.Predict(128); got[0] != 2 {
+		t.Fatal("bucket 1 lost its line")
+	}
+}
+
+func TestPredictorInterfaceCompliance(t *testing.T) {
+	var _ approx.Predictor = &approx.ZeroPredictor{}
+	var _ approx.Predictor = &approx.LastValuePredictor{}
+	var _ approx.Predictor = approx.NewVPUnit(approx.DefaultVPConfig(), cache.New(cache.Config{SizeBytes: 1024, Ways: 2}))
+}

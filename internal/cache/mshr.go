@@ -1,0 +1,70 @@
+package cache
+
+// PendingStore is a word-granularity store waiting for its line fill
+// (write-allocate caches merge the store data when the fill returns).
+type PendingStore struct {
+	Addr uint64
+	Val  uint64
+	N    int // bytes
+}
+
+// MSHREntry tracks one outstanding line miss and the requests merged into it.
+type MSHREntry struct {
+	LineAddr uint64
+	// Targets are opaque upstream waiters (e.g. warp transaction handles)
+	// notified when the fill arrives.
+	Targets []any
+	// Stores are pending word writes merged into the line at fill time.
+	Stores []PendingStore
+	// HasStore marks entries allocated (or joined) by a store; the filled
+	// line becomes dirty.
+	HasStore bool
+	// Issued marks that the downstream request has left this level.
+	Issued bool
+}
+
+// MSHR is a miss-status holding register file with same-line merging.
+type MSHR struct {
+	entries    map[uint64]*MSHREntry
+	maxEntries int
+	maxTargets int
+}
+
+// NewMSHR creates an MSHR file with the given entry capacity and per-entry
+// merge capacity.
+func NewMSHR(maxEntries, maxTargets int) *MSHR {
+	return &MSHR{
+		entries:    make(map[uint64]*MSHREntry, maxEntries),
+		maxEntries: maxEntries,
+		maxTargets: maxTargets,
+	}
+}
+
+// Lookup returns the entry for lineAddr, or nil.
+func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry { return m.entries[lineAddr] }
+
+// Full reports whether no new entry can be allocated.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.maxEntries }
+
+// CanMerge reports whether another target fits in the entry.
+func (m *MSHR) CanMerge(e *MSHREntry) bool { return len(e.Targets) < m.maxTargets }
+
+// Allocate creates an entry for lineAddr. The caller must have checked Full
+// and that no entry exists.
+func (m *MSHR) Allocate(lineAddr uint64) *MSHREntry {
+	if m.Full() {
+		panic("cache: MSHR allocate when full")
+	}
+	if m.entries[lineAddr] != nil {
+		panic("cache: duplicate MSHR allocation")
+	}
+	e := &MSHREntry{LineAddr: lineAddr}
+	m.entries[lineAddr] = e
+	return e
+}
+
+// Remove releases the entry for lineAddr.
+func (m *MSHR) Remove(lineAddr uint64) { delete(m.entries, lineAddr) }
+
+// Len returns the number of outstanding entries.
+func (m *MSHR) Len() int { return len(m.entries) }

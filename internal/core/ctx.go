@@ -1,0 +1,131 @@
+package core
+
+import "math"
+
+// Ctx is a warp's architectural state visible to its program: vector
+// registers written by loads and a reusable lane-set buffer for building
+// memory instructions. A program may only inspect registers after the load
+// that writes them has been yielded (the simulator resumes the program only
+// once the memory instruction completed, so the values are always present).
+type Ctx struct {
+	Regs [MaxRegs][WarpSize]uint32
+	// lanes[r] is the lane-set buffer of register slot r; loads targeting r
+	// build their addresses here. Stores use the slot chosen by the caller
+	// via the store builders (slot MaxRegs-1 by default).
+	lanes [MaxRegs]LaneSet
+}
+
+// F32 returns register reg, lane lane as float32.
+func (c *Ctx) F32(reg, lane int) float32 {
+	return math.Float32frombits(c.Regs[reg][lane])
+}
+
+// U32 returns register reg, lane lane as uint32.
+func (c *Ctx) U32(reg, lane int) uint32 { return c.Regs[reg][lane] }
+
+// Compute returns a compute instruction occupying the warp for the given
+// number of core cycles.
+func (c *Ctx) Compute(cycles int) Op {
+	if cycles < 1 {
+		cycles = 1
+	}
+	return Op{Kind: OpCompute, Cycles: uint32(cycles)}
+}
+
+// fullMask activates lanes [0, n).
+func fullMask(n int) uint32 {
+	if n >= WarpSize {
+		return ^uint32(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// LoadSeq32 builds a fully coalesced load: lane l reads the 32-bit word at
+// base + 4*(elem + l), for l in [0, n).
+func (c *Ctx) LoadSeq32(dst int, base uint64, elem int, n int) Op {
+	ls := &c.lanes[dst]
+	ls.Active = fullMask(n)
+	for l := 0; l < n && l < WarpSize; l++ {
+		ls.Addrs[l] = base + 4*uint64(elem+l)
+	}
+	return Op{Kind: OpLoad, Dst: uint8(dst), Lanes: ls}
+}
+
+// LoadStride32 builds a strided load: lane l reads the 32-bit word at
+// base + 4*(elem + l*strideElems), for l in [0, n). Large strides defeat
+// coalescing and produce up to n distinct line transactions — the classic
+// row-thrashing access shape.
+func (c *Ctx) LoadStride32(dst int, base uint64, elem, strideElems, n int) Op {
+	ls := &c.lanes[dst]
+	ls.Active = fullMask(n)
+	for l := 0; l < n && l < WarpSize; l++ {
+		ls.Addrs[l] = base + 4*uint64(elem+l*strideElems)
+	}
+	return Op{Kind: OpLoad, Dst: uint8(dst), Lanes: ls}
+}
+
+// LoadGather32 builds an arbitrary gather: lane l reads base + 4*idx[l] for
+// l in [0, n).
+func (c *Ctx) LoadGather32(dst int, base uint64, idx []int, n int) Op {
+	ls := &c.lanes[dst]
+	ls.Active = fullMask(n)
+	for l := 0; l < n && l < WarpSize; l++ {
+		ls.Addrs[l] = base + 4*uint64(idx[l])
+	}
+	return Op{Kind: OpLoad, Dst: uint8(dst), Lanes: ls}
+}
+
+// StoreSeqF32 builds a fully coalesced store: lane l writes vals[l] to
+// base + 4*(elem + l), for l in [0, n).
+func (c *Ctx) StoreSeqF32(base uint64, elem int, vals []float32, n int) Op {
+	ls := &c.lanes[MaxRegs-1]
+	ls.Active = fullMask(n)
+	for l := 0; l < n && l < WarpSize; l++ {
+		ls.Addrs[l] = base + 4*uint64(elem+l)
+		ls.Vals[l] = math.Float32bits(vals[l])
+	}
+	return Op{Kind: OpStore, Lanes: ls}
+}
+
+// StoreStrideF32 builds a strided store: lane l writes vals[l] to
+// base + 4*(elem + l*strideElems), for l in [0, n).
+func (c *Ctx) StoreStrideF32(base uint64, elem, strideElems int, vals []float32, n int) Op {
+	ls := &c.lanes[MaxRegs-1]
+	ls.Active = fullMask(n)
+	for l := 0; l < n && l < WarpSize; l++ {
+		ls.Addrs[l] = base + 4*uint64(elem+l*strideElems)
+		ls.Vals[l] = math.Float32bits(vals[l])
+	}
+	return Op{Kind: OpStore, Lanes: ls}
+}
+
+// StoreScatterF32 builds an arbitrary scatter: lane l writes vals[l] to
+// base + 4*idx[l], for l in [0, n).
+func (c *Ctx) StoreScatterF32(base uint64, idx []int, vals []float32, n int) Op {
+	ls := &c.lanes[MaxRegs-1]
+	ls.Active = fullMask(n)
+	for l := 0; l < n && l < WarpSize; l++ {
+		ls.Addrs[l] = base + 4*uint64(idx[l])
+		ls.Vals[l] = math.Float32bits(vals[l])
+	}
+	return Op{Kind: OpStore, Lanes: ls}
+}
+
+// Async marks a load as non-blocking: the warp proceeds after the load's
+// transactions are issued and synchronizes at the next Join. The destination
+// register must not be reloaded before that join.
+func (c *Ctx) Async(op Op) Op {
+	op.Async = true
+	return op
+}
+
+// Join returns the instruction that waits for all in-flight async loads.
+func (c *Ctx) Join() Op { return Op{Kind: OpJoin} }
+
+// RegF32 copies register reg into dst as float32 values and returns dst[:n].
+func (c *Ctx) RegF32(reg int, dst *[WarpSize]float32, n int) []float32 {
+	for l := 0; l < n && l < WarpSize; l++ {
+		dst[l] = math.Float32frombits(c.Regs[reg][l])
+	}
+	return dst[:n]
+}

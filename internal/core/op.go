@@ -1,0 +1,53 @@
+// Package core models the GPU's streaming multiprocessors (SMs): resident
+// warps executing per-warp instruction streams, a loose-round-robin dual
+// issue scheduler, a load/store unit with memory coalescing, and a private
+// write-through L1 data cache with merging MSHRs. Latency hiding emerges the
+// way it does on real GPUs: each warp blocks on its own memory instruction
+// while up to 48 resident warps keep the SM busy — the property the paper's
+// delayed memory scheduling exploits.
+package core
+
+// WarpSize is the SIMT width (Table I: 32 threads per warp).
+const WarpSize = 32
+
+// MaxRegs is the number of vector register slots a warp program may address.
+const MaxRegs = 8
+
+// OpKind discriminates warp instructions.
+type OpKind uint8
+
+// Warp instruction kinds.
+const (
+	OpCompute OpKind = iota
+	OpLoad
+	OpStore
+	// OpJoin blocks the warp until all of its in-flight asynchronous loads
+	// have delivered (the "use" point of non-blocking GPU loads).
+	OpJoin
+)
+
+// LaneSet carries the per-lane addresses and values of one memory
+// instruction. Bit l of Active marks lane l as participating.
+type LaneSet struct {
+	Addrs  [WarpSize]uint64
+	Vals   [WarpSize]uint32
+	Active uint32
+}
+
+// Op is one warp instruction. Compute ops carry a latency in core cycles;
+// memory ops reference the issuing warp's lane set (valid until the op
+// completes, which is guaranteed because a warp blocks on its memory ops).
+type Op struct {
+	Kind   OpKind
+	Cycles uint32
+	Dst    uint8 // destination vector register for loads
+	// Async marks a non-blocking load: the warp continues once the load's
+	// transactions are issued and only waits at the next OpJoin. The
+	// destination register (and its lane set) must not be reused before
+	// that join.
+	Async bool
+	Lanes *LaneSet
+}
+
+// lineOf returns the 128-byte line address containing addr.
+func lineOf(addr uint64) uint64 { return addr &^ 127 }

@@ -1,0 +1,48 @@
+package dram
+
+// AddrMap decodes a global physical address into (channel, bank, row, column)
+// coordinates. Following Table I, the global linear address space is
+// interleaved among the memory partitions in chunks of ChunkBytes (256 B);
+// within a partition, consecutive chunks fill a 2 KB row of one bank before
+// moving to the next bank, and banks before rows.
+type AddrMap struct {
+	NumChannels int
+	ChunkBytes  uint64
+	RowBytes    uint64
+	NumBanks    int
+}
+
+// DefaultAddrMap mirrors Table I: 6 channels, 256 B interleave, 2 KB rows,
+// 16 banks per channel.
+func DefaultAddrMap() AddrMap {
+	return AddrMap{NumChannels: 6, ChunkBytes: 256, RowBytes: 2048, NumBanks: 16}
+}
+
+// Coord is a decoded DRAM coordinate.
+type Coord struct {
+	Channel int
+	Bank    int
+	Row     int64
+	Col     uint64 // byte offset within the row
+}
+
+// Decode maps a global address to its DRAM coordinate.
+func (m AddrMap) Decode(addr uint64) Coord {
+	chunk := addr / m.ChunkBytes
+	ch := int(chunk % uint64(m.NumChannels))
+	local := (chunk/uint64(m.NumChannels))*m.ChunkBytes + addr%m.ChunkBytes
+	col := local % m.RowBytes
+	bank := int((local / m.RowBytes) % uint64(m.NumBanks))
+	row := int64(local / (m.RowBytes * uint64(m.NumBanks)))
+	return Coord{Channel: ch, Bank: bank, Row: row, Col: col}
+}
+
+// Encode is the inverse of Decode; it maps a DRAM coordinate back to the
+// global address of the first byte of the coordinate's column offset.
+func (m AddrMap) Encode(c Coord) uint64 {
+	local := uint64(c.Row)*(m.RowBytes*uint64(m.NumBanks)) +
+		uint64(c.Bank)*m.RowBytes + c.Col
+	chunk := local / m.ChunkBytes
+	off := local % m.ChunkBytes
+	return (chunk*uint64(m.NumChannels)+uint64(c.Channel))*m.ChunkBytes + off
+}

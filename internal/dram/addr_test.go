@@ -1,0 +1,91 @@
+package dram_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lazydram/internal/dram"
+)
+
+func TestDecodeInterleavesChunksAcrossChannels(t *testing.T) {
+	m := dram.DefaultAddrMap()
+	for chunk := 0; chunk < 12; chunk++ {
+		addr := uint64(chunk) * m.ChunkBytes
+		c := m.Decode(addr)
+		if want := chunk % m.NumChannels; c.Channel != want {
+			t.Fatalf("chunk %d: channel = %d, want %d", chunk, c.Channel, want)
+		}
+	}
+}
+
+func TestDecodeConsecutiveChunksFillRowThenBank(t *testing.T) {
+	m := dram.DefaultAddrMap()
+	chunksPerRow := int(m.RowBytes / m.ChunkBytes) // 8
+	// Chunks 0, 6, 12, ... land in channel 0; the first chunksPerRow of them
+	// share (bank 0, row 0), the next move to bank 1.
+	for i := 0; i < chunksPerRow; i++ {
+		addr := uint64(i*m.NumChannels) * m.ChunkBytes
+		c := m.Decode(addr)
+		if c.Channel != 0 || c.Bank != 0 || c.Row != 0 {
+			t.Fatalf("chunk %d: got %+v, want bank 0 row 0", i, c)
+		}
+	}
+	addr := uint64(chunksPerRow*m.NumChannels) * m.ChunkBytes
+	if c := m.Decode(addr); c.Bank != 1 || c.Row != 0 {
+		t.Fatalf("first chunk past a row: got %+v, want bank 1 row 0", c)
+	}
+}
+
+func TestDecodeBanksWrapToNextRow(t *testing.T) {
+	m := dram.DefaultAddrMap()
+	bytesPerChannelRowSet := m.RowBytes * uint64(m.NumBanks) // one row in each bank
+	localAddr := bytesPerChannelRowSet                       // first byte of row 1, bank 0
+	// Convert local channel-0 address back to a global address.
+	chunk := localAddr / m.ChunkBytes
+	global := chunk*uint64(m.NumChannels)*1*m.ChunkBytes/m.ChunkBytes*m.ChunkBytes + localAddr%m.ChunkBytes
+	global = chunk * uint64(m.NumChannels) * m.ChunkBytes
+	c := m.Decode(global)
+	if c.Channel != 0 || c.Bank != 0 || c.Row != 1 {
+		t.Fatalf("got %+v, want channel 0 bank 0 row 1", c)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := dram.DefaultAddrMap()
+	f := func(raw uint64) bool {
+		addr := raw % (1 << 30)
+		c := m.Decode(addr)
+		if c.Channel < 0 || c.Channel >= m.NumChannels {
+			return false
+		}
+		if c.Bank < 0 || c.Bank >= m.NumBanks {
+			return false
+		}
+		if c.Col >= m.RowBytes {
+			return false
+		}
+		return m.Encode(c) == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeIsDense(t *testing.T) {
+	// Every local (channel, bank, row, col) coordinate must be hit by
+	// exactly one address in a window: count coordinates seen over a span.
+	m := dram.DefaultAddrMap()
+	seen := map[dram.Coord]uint64{}
+	span := m.RowBytes * uint64(m.NumChannels) // one row's worth per channel
+	for a := uint64(0); a < span; a += 128 {
+		c := m.Decode(a)
+		c.Col -= c.Col % 128 // line-align for counting
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("coordinate %+v hit by both %d and %d", c, prev, a)
+		}
+		seen[c] = a
+	}
+	if len(seen) != int(span/128) {
+		t.Fatalf("dense mapping violated: %d coords for %d lines", len(seen), span/128)
+	}
+}

@@ -1,0 +1,303 @@
+// Package dram models a GDDR5-style DRAM channel at command granularity:
+// per-bank row buffers, ACT/PRE/RD/WR commands with the Hynix GDDR5 timing
+// parameters of the paper's Table I, an open-row policy, and data-bus
+// occupancy tracking for bandwidth-utilization (BWUTIL) measurement.
+//
+// The memory controller (package mc) decides which command to issue; this
+// package answers "is that command legal now" and applies its timing and
+// statistics side effects.
+package dram
+
+import "lazydram/internal/stats"
+
+// Timing holds DRAM timing parameters in memory-clock cycles. The named
+// fields follow the paper's Table I (Hynix GDDR5); WL, WR and RTP are not
+// listed in the table and use standard GDDR5 values.
+type Timing struct {
+	CL   uint64 // read column-access latency
+	RP   uint64 // precharge period
+	RC   uint64 // activate-to-activate, same bank
+	RAS  uint64 // activate-to-precharge minimum
+	CCD  uint64 // column-to-column delay (= burst occupancy of the bus)
+	RCD  uint64 // activate-to-column delay
+	RRD  uint64 // activate-to-activate, different banks
+	CDLR uint64 // write-to-read turnaround (column delay, last write to read)
+	WL   uint64 // write column-access latency
+	WR   uint64 // write recovery before precharge
+	RTP  uint64 // read-to-precharge delay
+	// CCDL is the column-to-column delay within one bank group; GDDR5 bank
+	// groups allow back-to-back bursts (CCD) only across groups. Zero means
+	// no bank-group penalty.
+	CCDL uint64
+	// REFI and RFC enable refresh when both are non-zero: every REFI cycles
+	// an all-bank refresh blocks the channel for RFC cycles.
+	REFI uint64
+	RFC  uint64
+}
+
+// HynixGDDR5 is the timing configuration from Table I of the paper.
+func HynixGDDR5() Timing {
+	// Table I specifies a single tCCD; the same-bank-group tCCDL penalty and
+	// refresh are available (Timing.CCDL/REFI/RFC) but default off so the
+	// baseline matches the paper's model.
+	return Timing{
+		CL: 12, RP: 12, RC: 40, RAS: 28, CCD: 2,
+		RCD: 12, RRD: 6, CDLR: 5, WL: 4, WR: 12, RTP: 2,
+	}
+}
+
+// HynixGDDR5WithRefresh adds the refresh parameters of the Hynix part
+// (tREFI about 3.9 us, tRFC 160 ns at 924 MHz): refresh is off by default so
+// experiments stay comparable with the paper's model, but the timing model
+// supports it (see Channel.Tick).
+func HynixGDDR5WithRefresh() Timing {
+	t := HynixGDDR5()
+	t.REFI = 3600
+	t.RFC = 148
+	return t
+}
+
+// Config describes one DRAM channel.
+type Config struct {
+	NumBanks      int
+	NumBankGroups int
+	RowBytes      uint64
+	Timing        Timing
+}
+
+// DefaultConfig mirrors Table I: 16 banks, 4 bank groups, 2 KB rows.
+func DefaultConfig() Config {
+	return Config{NumBanks: 16, NumBankGroups: 4, RowBytes: 2048, Timing: HynixGDDR5()}
+}
+
+// NoRow marks a closed row buffer.
+const NoRow int64 = -1
+
+// Bank is the timing state of one DRAM bank.
+type Bank struct {
+	OpenRow int64
+
+	nextAct   uint64 // earliest cycle an ACT may issue
+	nextRead  uint64
+	nextWrite uint64
+	nextPre   uint64
+
+	// Accounting for the current activation, consumed when the row closes.
+	served      int
+	servedReads int
+	readOnly    bool
+}
+
+// Channel is one DRAM channel: a set of banks plus channel-level constraints
+// (ACT-to-ACT spacing, shared data/command bus, refresh).
+type Channel struct {
+	cfg   Config
+	banks []Bank
+
+	nextActAny   uint64 // tRRD across banks
+	nextColRead  uint64 // channel-level column spacing / turnaround
+	nextColWrite uint64
+
+	// lastColBank / lastColCycle implement the tCCDL same-bank-group
+	// column penalty.
+	lastColBank  int
+	lastColCycle uint64
+
+	// nextRefresh / refreshUntil implement all-bank refresh.
+	nextRefresh  uint64
+	refreshUntil uint64
+
+	stats *stats.Mem
+}
+
+// NewChannel creates a channel with all banks closed.
+func NewChannel(cfg Config, st *stats.Mem) *Channel {
+	ch := &Channel{cfg: cfg, banks: make([]Bank, cfg.NumBanks), stats: st, lastColBank: -1}
+	if cfg.Timing.REFI > 0 {
+		ch.nextRefresh = cfg.Timing.REFI
+	}
+	for i := range ch.banks {
+		ch.banks[i].OpenRow = NoRow
+		ch.banks[i].readOnly = true
+	}
+	return ch
+}
+
+// bankGroup returns the bank-group index of bank b.
+func (c *Channel) bankGroup(b int) int {
+	if c.cfg.NumBankGroups <= 0 {
+		return 0
+	}
+	return b % c.cfg.NumBankGroups
+}
+
+// colGroupReady reports whether a column command to bank b satisfies the
+// same-bank-group tCCDL constraint at cycle now.
+func (c *Channel) colGroupReady(b int, now uint64) bool {
+	t := c.cfg.Timing
+	if t.CCDL == 0 || c.lastColBank < 0 {
+		return true
+	}
+	if c.bankGroup(b) != c.bankGroup(c.lastColBank) {
+		return true
+	}
+	return now >= c.lastColCycle+t.CCDL
+}
+
+// Refreshing reports whether the channel is blocked by an all-bank refresh
+// at cycle now. Call once per memory cycle (from the memory controller)
+// before issuing commands; it also opens refresh windows when due.
+//
+// A refresh implicitly precharges every bank, closing open rows (their RBL
+// is recorded). Refresh is enabled by Timing.REFI/RFC.
+func (c *Channel) Refreshing(now uint64) bool {
+	t := c.cfg.Timing
+	if t.REFI == 0 || t.RFC == 0 {
+		return false
+	}
+	if now >= c.nextRefresh && now >= c.refreshUntil {
+		// Open a refresh window: all banks precharge.
+		for i := range c.banks {
+			bk := &c.banks[i]
+			if bk.OpenRow != NoRow {
+				c.closeStats(bk)
+				bk.OpenRow = NoRow
+			}
+			if n := now + t.RFC; n > bk.nextAct {
+				bk.nextAct = n
+			}
+		}
+		c.refreshUntil = now + t.RFC
+		c.nextRefresh = now + t.REFI
+		c.stats.Refreshes++
+	}
+	return now < c.refreshUntil
+}
+
+// Config returns the channel configuration.
+func (c *Channel) Config() Config { return c.cfg }
+
+// NumBanks returns the number of banks in the channel.
+func (c *Channel) NumBanks() int { return len(c.banks) }
+
+// OpenRow returns the currently open row of bank b, or NoRow.
+func (c *Channel) OpenRow(b int) int64 { return c.banks[b].OpenRow }
+
+// CanActivate reports whether an ACT for bank b may issue at cycle now.
+// The bank must be precharged (closed).
+func (c *Channel) CanActivate(b int, now uint64) bool {
+	bk := &c.banks[b]
+	return bk.OpenRow == NoRow && now >= bk.nextAct && now >= c.nextActAny
+}
+
+// Activate opens row in bank b at cycle now. The caller must have checked
+// CanActivate.
+func (c *Channel) Activate(b int, row int64, now uint64) {
+	bk := &c.banks[b]
+	t := c.cfg.Timing
+	bk.OpenRow = row
+	bk.nextRead = now + t.RCD
+	bk.nextWrite = now + t.RCD
+	bk.nextPre = now + t.RAS
+	bk.nextAct = now + t.RC
+	bk.served = 0
+	bk.servedReads = 0
+	bk.readOnly = true
+	c.nextActAny = now + t.RRD
+	c.stats.Activations++
+}
+
+// CanPrecharge reports whether a PRE for bank b may issue at cycle now.
+func (c *Channel) CanPrecharge(b int, now uint64) bool {
+	bk := &c.banks[b]
+	return bk.OpenRow != NoRow && now >= bk.nextPre
+}
+
+// Precharge closes the open row of bank b at cycle now and records the
+// row-buffer locality of the finished activation.
+func (c *Channel) Precharge(b int, now uint64) {
+	bk := &c.banks[b]
+	c.closeStats(bk)
+	bk.OpenRow = NoRow
+	if n := now + c.cfg.Timing.RP; n > bk.nextAct {
+		bk.nextAct = n
+	}
+}
+
+func (c *Channel) closeStats(bk *Bank) {
+	if bk.served > 0 {
+		c.stats.RecordActivationClose(bk.served, bk.servedReads, bk.readOnly)
+	}
+	bk.served = 0
+	bk.servedReads = 0
+	bk.readOnly = true
+}
+
+// CanRead reports whether a RD to the open row of bank b may issue at now.
+func (c *Channel) CanRead(b int, now uint64) bool {
+	bk := &c.banks[b]
+	return bk.OpenRow != NoRow && now >= bk.nextRead && now >= c.nextColRead &&
+		c.colGroupReady(b, now)
+}
+
+// Read issues a RD at cycle now and returns the cycle at which the data burst
+// completes on the bus (when the reply can leave the controller).
+func (c *Channel) Read(b int, now uint64) (dataReady uint64) {
+	bk := &c.banks[b]
+	t := c.cfg.Timing
+	// Burst occupies the data bus for CCD cycles starting at now+CL.
+	c.stats.DataBusBusy += t.CCD
+	c.stats.Reads++
+	bk.served++
+	bk.servedReads++
+	if n := now + t.RTP; n > bk.nextPre {
+		bk.nextPre = n
+	}
+	c.nextColRead = now + t.CCD
+	c.lastColBank = b
+	c.lastColCycle = now
+	// Read-to-write bus turnaround: the write burst must not collide with the
+	// tail of the read burst.
+	if n := now + t.CL + t.CCD - t.WL + 1; n > c.nextColWrite {
+		c.nextColWrite = n
+	}
+	return now + t.CL + t.CCD
+}
+
+// CanWrite reports whether a WR to the open row of bank b may issue at now.
+func (c *Channel) CanWrite(b int, now uint64) bool {
+	bk := &c.banks[b]
+	return bk.OpenRow != NoRow && now >= bk.nextWrite && now >= c.nextColWrite &&
+		c.colGroupReady(b, now)
+}
+
+// Write issues a WR at cycle now and returns the cycle at which the write
+// burst has been transferred.
+func (c *Channel) Write(b int, now uint64) (done uint64) {
+	bk := &c.banks[b]
+	t := c.cfg.Timing
+	c.stats.DataBusBusy += t.CCD
+	c.stats.Writes++
+	bk.served++
+	bk.readOnly = false
+	if n := now + t.WL + t.CCD + t.WR; n > bk.nextPre {
+		bk.nextPre = n
+	}
+	c.nextColWrite = now + t.CCD
+	c.lastColBank = b
+	c.lastColCycle = now
+	// Write-to-read turnaround (tCDLR) applies channel wide.
+	if n := now + t.WL + t.CCD + t.CDLR; n > c.nextColRead {
+		c.nextColRead = n
+	}
+	return now + t.WL + t.CCD
+}
+
+// Drain records activation statistics for every still-open row. Call once at
+// the end of a simulation so in-flight activations contribute to the RBL
+// histogram.
+func (c *Channel) Drain() {
+	for i := range c.banks {
+		c.closeStats(&c.banks[i])
+	}
+}

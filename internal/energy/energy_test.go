@@ -1,0 +1,73 @@
+package energy_test
+
+import (
+	"math"
+	"testing"
+
+	"lazydram/internal/energy"
+	"lazydram/internal/stats"
+)
+
+func TestRowEnergyProportionalToActivations(t *testing.T) {
+	p := energy.GDDR5()
+	a := &stats.Mem{Activations: 100}
+	b := &stats.Mem{Activations: 300}
+	if got := energy.Profile.RowEnergyNJ(p, b) / p.RowEnergyNJ(a); got != 3 {
+		t.Fatalf("row energy ratio = %v, want 3", got)
+	}
+}
+
+func TestAccessEnergy(t *testing.T) {
+	p := energy.Profile{RdNJ: 2, WrNJ: 3}
+	m := &stats.Mem{Reads: 10, Writes: 4}
+	if got := p.AccessEnergyNJ(m); got != 32 {
+		t.Fatalf("access energy = %v, want 32", got)
+	}
+}
+
+func TestMemEnergyIncludesBackground(t *testing.T) {
+	p := energy.Profile{BackgroundWPerChannel: 1}
+	m := &stats.Mem{}
+	// 1 W x 6 channels x 1 s = 6 J = 6e9 nJ.
+	got := p.MemEnergyNJ(m, 1_000_000, 1e6, 6)
+	if math.Abs(got-6e9) > 1 {
+		t.Fatalf("background energy = %v nJ, want 6e9", got)
+	}
+}
+
+func TestSystemSavingUsesRowShare(t *testing.T) {
+	hbm1 := energy.HBM1()
+	// The paper's numbers: a 44% row-energy reduction is ~22% of HBM1
+	// system energy (50% share) and ~11% of HBM2 (25% share).
+	if got := hbm1.SystemSaving(0.44); math.Abs(got-0.22) > 1e-9 {
+		t.Fatalf("HBM1 saving = %v, want 0.22", got)
+	}
+	hbm2 := energy.HBM2()
+	if got := hbm2.SystemSaving(0.44); math.Abs(got-0.11) > 1e-9 {
+		t.Fatalf("HBM2 saving = %v, want 0.11", got)
+	}
+}
+
+func TestPeakBandwidthHeadroom(t *testing.T) {
+	watts, gbs := energy.PeakBandwidthHeadroom(60, 900, 0.1)
+	if math.Abs(watts-6) > 1e-9 {
+		t.Fatalf("watts = %v, want 6", watts)
+	}
+	if gbs <= 0 || gbs > 150 {
+		t.Fatalf("bandwidth headroom %v out of plausible range", gbs)
+	}
+	if _, g := energy.PeakBandwidthHeadroom(60, 900, 1); g != 0 {
+		t.Fatal("degenerate saving must not divide by zero")
+	}
+}
+
+func TestProfilesArePlausible(t *testing.T) {
+	for _, p := range []energy.Profile{energy.GDDR5(), energy.HBM1(), energy.HBM2()} {
+		if p.ActNJ <= 0 || p.RdNJ <= 0 || p.WrNJ <= 0 {
+			t.Fatalf("%s: non-positive energies", p.Name)
+		}
+		if p.RowEnergyShare <= 0 || p.RowEnergyShare >= 1 {
+			t.Fatalf("%s: row share %v out of (0,1)", p.Name, p.RowEnergyShare)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package exp_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lazydram/internal/exp"
+	"lazydram/internal/mc"
+	"lazydram/internal/sim"
+)
+
+func shortRunner() *exp.Runner {
+	return exp.NewRunner(exp.Options{Seed: 1, Apps: []string{"LPS", "jmein"}})
+}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table2", "energy",
+		"policies", "vp",
+	}
+	ids := exp.IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("IDs()[%d] = %s, want %s", i, ids[i], id)
+		}
+		if _, ok := exp.Lookup(id); !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+	}
+	if _, ok := exp.Lookup("nope"); ok {
+		t.Fatal("Lookup accepted an unknown id")
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := shortRunner()
+	a, err := r.Baseline("LPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Baseline("LPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical runs not memoized")
+	}
+}
+
+func TestRunnerDistinguishesVariants(t *testing.T) {
+	r := shortRunner()
+	a, _ := r.Run("LPS", mc.Baseline, exp.Variant{QueueSize: 32})
+	b, _ := r.Baseline("LPS")
+	if a == b {
+		t.Fatal("different queue sizes shared a memo entry")
+	}
+	if a.Run.Mem.Activations == b.Run.Mem.Activations {
+		t.Log("note: queue 32 and 128 produced identical activations (possible but unusual)")
+	}
+}
+
+func TestRunnerRequiresTagForMutation(t *testing.T) {
+	r := shortRunner()
+	if _, err := r.Run("LPS", mc.Baseline, exp.Variant{
+		Mutate: func(c *sim.Config) { c.L2HitLatency = 10 },
+	}); err == nil {
+		t.Fatal("untagged mutation must be rejected")
+	}
+	if _, err := r.Run("LPS", mc.Baseline, exp.Variant{
+		Tag:    "l2lat10",
+		Mutate: func(c *sim.Config) { c.L2HitLatency = 10 },
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerAppError(t *testing.T) {
+	r := shortRunner()
+	res, err := r.Run("LPS", mc.StaticAMS, exp.Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Mem.Dropped > 0 && res.Run.AppError == 0 {
+		t.Fatal("drops occurred but AppError is zero")
+	}
+	base, _ := r.Baseline("LPS")
+	if base.Run.AppError != 0 {
+		t.Fatalf("baseline AppError = %v, want 0", base.Run.AppError)
+	}
+}
+
+func TestFig8Experiment(t *testing.T) {
+	e, _ := exp.Lookup("fig8")
+	var buf bytes.Buffer
+	if err := e.Run(shortRunner(), &buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "R1") || !strings.Contains(out, "R5") {
+		t.Fatalf("fig8 output missing the dropped rows:\n%s", out)
+	}
+	if !strings.Contains(out, "1.60") || !strings.Contains(out, "2.00") {
+		t.Fatalf("fig8 Avg-RBL values missing:\n%s", out)
+	}
+}
+
+func TestTable1Experiment(t *testing.T) {
+	e, _ := exp.Lookup("table1")
+	var buf bytes.Buffer
+	if err := e.Run(shortRunner(), &buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"30 SMs", "tCL=12", "FR-FCFS (queue 128)", "GDDR5"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table1 missing %q", want)
+		}
+	}
+}
+
+func TestFig7Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	e, _ := exp.Lookup("fig7")
+	var buf bytes.Buffer
+	// fig7 uses its own fixed apps (LPS, SCP); the runner app set does not
+	// restrict it.
+	if err := e.Run(exp.NewRunner(exp.Options{Seed: 1}), &buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DMS(256)+AMS(8)") {
+		t.Fatalf("fig7 missing the combined scheme row:\n%s", buf.String())
+	}
+}
+
+func TestFig14WritesImages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	e, _ := exp.Lookup("fig14")
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	if err := e.Run(exp.NewRunner(exp.Options{Seed: 1}), &buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig14_approx.pgm") {
+		t.Fatalf("fig14 did not report its images:\n%s", buf.String())
+	}
+}
+
+func TestFig3Experiment(t *testing.T) {
+	e, _ := exp.Lookup("fig3")
+	var buf bytes.Buffer
+	if err := e.Run(shortRunner(), &buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2.00") {
+		t.Fatalf("fig3 did not reach Avg-RBL 2.00 under DMS:\n%s", buf.String())
+	}
+}

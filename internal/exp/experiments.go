@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run writes the experiment's rows to w; artifacts (e.g. Fig. 14's
+	// images) go under outDir when it is non-empty.
+	Run func(r *Runner, w io.Writer, outDir string) error
+}
+
+// Registry lists all experiments in paper order.
+var Registry []Experiment
+
+// byID indexes Registry.
+var byID = map[string]*Experiment{}
+
+func registerExp(e Experiment) {
+	Registry = append(Registry, e)
+	byID[e.ID] = &Registry[len(Registry)-1]
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (*Experiment, bool) {
+	e, ok := byID[id]
+	return e, ok
+}
+
+// paperOrder is the canonical experiment order (Table I first, then figures
+// and tables as they appear in the paper).
+var paperOrder = []string{
+	"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table2", "energy",
+	// Extras beyond the paper's artifact list:
+	"policies", "vp",
+}
+
+// IDs returns all experiment ids in paper order.
+func IDs() []string {
+	out := make([]string, 0, len(paperOrder))
+	for _, id := range paperOrder {
+		if _, ok := byID[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// header prints a section banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "### %s\n\n", title)
+}
+
+// geoOrNaN guards ratio computation.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

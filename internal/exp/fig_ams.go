@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+func init() {
+	registerExp(Experiment{
+		ID:    "fig6",
+		Title: "Fig. 6: cumulative activation share vs. read-request share (by RBL)",
+		Run:   runFig6,
+	})
+	registerExp(Experiment{
+		ID:    "fig11",
+		Title: "Fig. 11: effect of reducing Th_RBL (SCP)",
+		Run:   runFig11,
+	})
+}
+
+// fig6Apps are the paper's two examples.
+var fig6Apps = []string{"GEMM", "3MM"}
+
+func runFig6(r *Runner, w io.Writer, _ string) error {
+	for _, app := range fig6Apps {
+		base, err := r.Baseline(app)
+		if err != nil {
+			return err
+		}
+		header(w, fmt.Sprintf("%s: cumulative share of activations caused by reads sorted by row RBL", app))
+		fmt.Fprintf(w, "%-6s %-10s %-10s\n", "RBL", "req-share", "act-share")
+		for _, p := range base.Run.Mem.CumulativeRBLCurve() {
+			fmt.Fprintf(w, "%-6d %-10.4f %-10.4f\n", p.RBL, p.ReqShare, p.ActShare)
+		}
+		// The paper's headline: the share of activations caused by the
+		// requests in RBL(1-2) rows.
+		var low12req, low12act float64
+		for _, p := range base.Run.Mem.CumulativeRBLCurve() {
+			if p.RBL <= 2 {
+				low12req, low12act = p.ReqShare, p.ActShare
+			}
+		}
+		fmt.Fprintf(w, "-> %.1f%% of read requests (RBL 1-2) cause %.1f%% of activations\n\n",
+			100*low12req, 100*low12act)
+	}
+	return nil
+}
+
+func runFig11(r *Runner, w io.Writer, _ string) error {
+	const app = "SCP"
+	base, err := r.Baseline(app)
+	if err != nil {
+		return err
+	}
+	header(w, "(a) SCP activations under AMS(Th), normalized to baseline")
+	fmt.Fprintf(w, "%-8s %-10s %-10s %-10s\n", "Th_RBL", "norm-act", "coverage", "app-error")
+	for th := 8; th >= 1; th-- {
+		res, err := r.AMS(app, th)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8d %-10.3f %-10.4f %-10.4f\n", th,
+			ratio(float64(res.Run.Mem.Activations), float64(base.Run.Mem.Activations)),
+			res.Run.Mem.Coverage(), res.Run.AppError)
+	}
+	fmt.Fprintln(w)
+	header(w, "(b) SCP baseline: share of read requests per RBL bucket")
+	fmt.Fprintf(w, "%-10s %-10s %-12s\n", "bucket", "req-share", "(cumulative)")
+	var cum float64
+	var totalReads uint64
+	for i, v := range base.Run.Mem.ReadsPerRBL {
+		_ = i
+		totalReads += v
+	}
+	for _, b := range rblBuckets {
+		var in uint64
+		for i := b.Lo; i <= b.Hi; i++ {
+			in += base.Run.Mem.ReadsPerRBL[i]
+		}
+		share := ratio(float64(in), float64(totalReads))
+		cum += share
+		fmt.Fprintf(w, "%-10s %-10.4f %-12.4f\n", b.Label, share, cum)
+	}
+	fmt.Fprintf(w, "(the 10%% coverage line falls inside the first bucket when RBL(1) req-share > 0.10)\n")
+	return nil
+}

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"lazydram/internal/sim"
+	"lazydram/internal/stats"
+)
+
+// delaySweep is the DMS(X) sweep of Fig. 4.
+var delaySweep = []int{64, 128, 256, 512, 1024, 2048}
+
+func defaultConfigForPrint() sim.Config { return sim.DefaultConfig() }
+
+func init() {
+	registerExp(Experiment{
+		ID:    "fig4",
+		Title: "Fig. 4: effect of DMS(X) on activations (a) and IPC (b)",
+		Run:   runFig4,
+	})
+	registerExp(Experiment{
+		ID:    "fig5",
+		Title: "Fig. 5: activation share per RBL bucket vs. delay",
+		Run:   runFig5,
+	})
+	registerExp(Experiment{
+		ID:    "fig10",
+		Title: "Fig. 10: IPC vs. DRAM bandwidth utilization correlation",
+		Run:   runFig10,
+	})
+}
+
+func runFig4(r *Runner, w io.Writer, _ string) error {
+	header(w, "(a) activations and (b) IPC under DMS(X), normalized to baseline")
+	fmt.Fprintf(w, "%-14s %-5s", "app", "")
+	for _, d := range delaySweep {
+		fmt.Fprintf(w, " X=%-7d", d)
+	}
+	fmt.Fprintln(w)
+	actMean := make([]float64, len(delaySweep))
+	ipcMean := make([]float64, len(delaySweep))
+	n := 0
+	for _, app := range r.Apps() {
+		base, err := r.Baseline(app)
+		if err != nil {
+			return err
+		}
+		var acts, ipcs []float64
+		for _, d := range delaySweep {
+			res, err := r.DMS(app, d)
+			if err != nil {
+				return err
+			}
+			acts = append(acts, ratio(float64(res.Run.Mem.Activations), float64(base.Run.Mem.Activations)))
+			ipcs = append(ipcs, ratio(res.Run.IPC(), base.Run.IPC()))
+		}
+		fmt.Fprintf(w, "%-14s %-5s", app, "act")
+		for i, v := range acts {
+			actMean[i] += v
+			fmt.Fprintf(w, " %-9.3f", v)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-14s %-5s", "", "ipc")
+		for i, v := range ipcs {
+			ipcMean[i] += v
+			fmt.Fprintf(w, " %-9.3f", v)
+		}
+		fmt.Fprintln(w)
+		n++
+	}
+	fmt.Fprintf(w, "%-14s %-5s", "MEAN", "act")
+	for i := range delaySweep {
+		fmt.Fprintf(w, " %-9.3f", actMean[i]/float64(n))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-14s %-5s", "", "ipc")
+	for i := range delaySweep {
+		fmt.Fprintf(w, " %-9.3f", ipcMean[i]/float64(n))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// fig5Apps are the two applications whose RBL distributions are shown; the
+// paper uses two representative thrashing apps.
+var fig5Apps = []string{"FWT", "SCP"}
+
+func runFig5(r *Runner, w io.Writer, _ string) error {
+	for _, app := range fig5Apps {
+		header(w, fmt.Sprintf("%s: share of activations per RBL bucket vs. DMS delay", app))
+		fmt.Fprintf(w, "%-8s", "delay")
+		for _, b := range rblBuckets {
+			fmt.Fprintf(w, " %-10s", b.Label)
+		}
+		fmt.Fprintln(w)
+		printRow := func(label string, m *stats.Mem) {
+			fmt.Fprintf(w, "%-8s", label)
+			for _, b := range rblBuckets {
+				fmt.Fprintf(w, " %-10.3f", m.RBLShare(b.Lo, b.Hi))
+			}
+			fmt.Fprintln(w)
+		}
+		base, err := r.Baseline(app)
+		if err != nil {
+			return err
+		}
+		printRow("0", &base.Run.Mem)
+		for _, d := range delaySweep {
+			res, err := r.DMS(app, d)
+			if err != nil {
+				return err
+			}
+			printRow(fmt.Sprint(d), &res.Run.Mem)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runFig10(r *Runner, w io.Writer, _ string) error {
+	header(w, "normalized (BWUTIL, IPC) pairs across DMS delays, with Pearson r")
+	fmt.Fprintf(w, "%-14s %-9s", "app", "r")
+	for _, d := range delaySweep {
+		fmt.Fprintf(w, " X=%-13d", d)
+	}
+	fmt.Fprintln(w)
+	var allBW, allIPC []float64
+	for _, app := range r.Apps() {
+		base, err := r.Baseline(app)
+		if err != nil {
+			return err
+		}
+		bw := []float64{1}
+		ipc := []float64{1}
+		for _, d := range delaySweep {
+			res, err := r.DMS(app, d)
+			if err != nil {
+				return err
+			}
+			bw = append(bw, ratio(res.Run.Mem.BWUtil(), base.Run.Mem.BWUtil()))
+			ipc = append(ipc, ratio(res.Run.IPC(), base.Run.IPC()))
+		}
+		allBW = append(allBW, bw...)
+		allIPC = append(allIPC, ipc...)
+		fmt.Fprintf(w, "%-14s %-9.3f", app, stats.Pearson(bw, ipc))
+		for i := 1; i < len(bw); i++ {
+			fmt.Fprintf(w, " (%.2f,%.2f)", bw[i], ipc[i])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-14s %-9.3f  (pooled over all apps and delays)\n",
+		"ALL", stats.Pearson(allBW, allIPC))
+	return nil
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"lazydram/internal/mc"
+	"lazydram/internal/workloads"
+)
+
+func init() {
+	registerExp(Experiment{
+		ID:    "fig14",
+		Title: "Fig. 14: accurate vs. approximate laplacian output images",
+		Run:   runFig14,
+	})
+}
+
+func runFig14(r *Runner, w io.Writer, outDir string) error {
+	const app = "laplacian"
+	golden := r.Golden(app)
+	res, err := r.Run(app, mc.DynBoth, Variant{})
+	if err != nil {
+		return err
+	}
+	header(w, "laplacian under Dyn-DMS+Dyn-AMS")
+	fmt.Fprintf(w, "application error: %.1f%% at coverage %.1f%%\n",
+		100*res.Run.AppError, 100*res.Run.Mem.Coverage())
+
+	if outDir == "" {
+		fmt.Fprintln(w, "(no output directory: images not written)")
+		return nil
+	}
+	kern, err := workloads.New(app)
+	if err != nil {
+		return err
+	}
+	type dimmer interface{ Dims() (w, h int) }
+	dk, ok := kern.(dimmer)
+	if !ok {
+		return fmt.Errorf("fig14: %s does not expose image dimensions", app)
+	}
+	width, height := dk.Dims()
+	writeImg := func(name string, pix []float32) error {
+		f, err := os.Create(filepath.Join(outDir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return workloads.WritePGM(f, pix, width, height)
+	}
+	if err := writeImg("fig14_accurate.pgm", golden); err != nil {
+		return err
+	}
+	if err := writeImg("fig14_approx.pgm", res.Output); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s and %s (%dx%d PGM)\n",
+		filepath.Join(outDir, "fig14_accurate.pgm"),
+		filepath.Join(outDir, "fig14_approx.pgm"), width, height)
+	return nil
+}

@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"lazydram/internal/energy"
+	"lazydram/internal/mc"
+	"lazydram/internal/workloads"
+)
+
+func init() {
+	registerExp(Experiment{
+		ID:    "fig12",
+		Title: "Fig. 12: all schemes on medium/high error-tolerance apps (groups 1-3)",
+		Run:   runFig12,
+	})
+	registerExp(Experiment{
+		ID:    "fig15",
+		Title: "Fig. 15: delay-only mode for low error-tolerance apps (group 4)",
+		Run:   runFig15,
+	})
+	registerExp(Experiment{
+		ID:    "energy",
+		Title: "Memory energy and peak bandwidth (HBM1/HBM2 projection)",
+		Run:   runEnergy,
+	})
+}
+
+// fig12Schemes are the seven bars of Figure 12.
+var fig12Schemes = []mc.Scheme{
+	mc.Baseline,
+	mc.StaticDMS,
+	mc.DynDMS,
+	mc.StaticAMS,
+	mc.DynAMS,
+	mc.StaticBoth,
+	mc.DynBoth,
+}
+
+func runFig12(r *Runner, w io.Writer, _ string) error {
+	apps := r.GroupApps(1, 2, 3)
+	type agg struct {
+		rowE, ipc, errSum, cov float64
+		n                      int
+	}
+	sums := make([]agg, len(fig12Schemes))
+	for _, metric := range []string{"row-energy", "ipc", "app-error", "coverage"} {
+		header(w, fmt.Sprintf("(%s) per app and scheme", metric))
+		fmt.Fprintf(w, "%-14s %-3s", "app", "grp")
+		for _, s := range fig12Schemes {
+			fmt.Fprintf(w, " %-22s", s.Name())
+		}
+		fmt.Fprintln(w)
+		for _, app := range apps {
+			base, err := r.Baseline(app)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-14s %-3d", app, workloads.Group(app))
+			for si, s := range fig12Schemes {
+				res, err := r.Run(app, s, Variant{})
+				if err != nil {
+					return err
+				}
+				var v float64
+				switch metric {
+				case "row-energy":
+					v = ratio(res.Run.RowEnergy, base.Run.RowEnergy)
+					sums[si].rowE += v
+				case "ipc":
+					v = ratio(res.Run.IPC(), base.Run.IPC())
+					sums[si].ipc += v
+				case "app-error":
+					v = res.Run.AppError
+					sums[si].errSum += v
+				case "coverage":
+					v = res.Run.Mem.Coverage()
+					sums[si].cov += v
+				}
+				if metric == "row-energy" {
+					sums[si].n++
+				}
+				fmt.Fprintf(w, " %-22.4f", v)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%-14s %-3s", "MEAN", "")
+		for si := range fig12Schemes {
+			n := float64(len(apps))
+			var v float64
+			switch metric {
+			case "row-energy":
+				v = sums[si].rowE / n
+			case "ipc":
+				v = sums[si].ipc / n
+			case "app-error":
+				v = sums[si].errSum / n
+			case "coverage":
+				v = sums[si].cov / n
+			}
+			fmt.Fprintf(w, " %-22.4f", v)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w)
+	}
+	// Headline numbers, paper style: reductions versus baseline.
+	fmt.Fprintln(w, "row-energy reduction vs baseline (groups 1-3):")
+	for si, s := range fig12Schemes {
+		if si == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-22s %.1f%%\n", s.Name(), 100*(1-sums[si].rowE/float64(len(apps))))
+	}
+	return nil
+}
+
+func runFig15(r *Runner, w io.Writer, _ string) error {
+	apps := r.GroupApps(4)
+	header(w, "group-4 apps: row energy (a) and IPC (b) under DMS, normalized to baseline")
+	fmt.Fprintf(w, "%-14s %-12s %-12s %-12s %-12s %-12s\n",
+		"app", "sdms-rowE", "ddms-rowE", "sdms-ipc", "ddms-ipc", "ddms-delay")
+	var sRow, dRow, sIPC, dIPC float64
+	for _, app := range apps {
+		base, err := r.Baseline(app)
+		if err != nil {
+			return err
+		}
+		sres, err := r.Run(app, mc.StaticDMS, Variant{})
+		if err != nil {
+			return err
+		}
+		dres, err := r.Run(app, mc.DynDMS, Variant{})
+		if err != nil {
+			return err
+		}
+		se := ratio(sres.Run.RowEnergy, base.Run.RowEnergy)
+		de := ratio(dres.Run.RowEnergy, base.Run.RowEnergy)
+		si := ratio(sres.Run.IPC(), base.Run.IPC())
+		di := ratio(dres.Run.IPC(), base.Run.IPC())
+		sRow += se
+		dRow += de
+		sIPC += si
+		dIPC += di
+		fmt.Fprintf(w, "%-14s %-12.3f %-12.3f %-12.3f %-12.3f %-12.0f\n",
+			app, se, de, si, di, dres.Run.Mem.MeanDelay())
+	}
+	n := float64(len(apps))
+	fmt.Fprintf(w, "%-14s %-12.3f %-12.3f %-12.3f %-12.3f\n", "MEAN",
+		sRow/n, dRow/n, sIPC/n, dIPC/n)
+	return nil
+}
+
+func runEnergy(r *Runner, w io.Writer, _ string) error {
+	apps := r.GroupApps(1, 2, 3)
+	var reduction float64
+	for _, app := range apps {
+		base, err := r.Baseline(app)
+		if err != nil {
+			return err
+		}
+		res, err := r.Run(app, mc.DynBoth, Variant{})
+		if err != nil {
+			return err
+		}
+		reduction += 1 - ratio(res.Run.RowEnergy, base.Run.RowEnergy)
+	}
+	reduction /= float64(len(apps))
+	header(w, "memory-system projection of the Dyn-DMS+Dyn-AMS row-energy reduction")
+	fmt.Fprintf(w, "row-energy reduction (groups 1-3 mean): %.1f%%\n\n", 100*reduction)
+	fmt.Fprintf(w, "%-8s %-16s %-18s %-14s %-16s\n",
+		"tech", "row-energy share", "mem-energy saving", "watts saved", "extra peak BW")
+	for _, prof := range []energy.Profile{energy.GDDR5(), energy.HBM1(), energy.HBM2()} {
+		saving := prof.SystemSaving(reduction)
+		watts, gbs := energy.PeakBandwidthHeadroom(60, 900, saving)
+		fmt.Fprintf(w, "%-8s %-16.2f %-18.1f%% %-14.1fW %-16.0fGB/s\n",
+			prof.Name, prof.RowEnergyShare, 100*saving, watts, gbs)
+	}
+	fmt.Fprintln(w, "\n(60 W memory power budget, 900 GB/s baseline peak bandwidth, as in Section V)")
+	return nil
+}

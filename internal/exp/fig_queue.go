@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"lazydram/internal/mc"
+	"lazydram/internal/stats"
+)
+
+// queueSizes is the pending-queue sweep of Figs. 2 and 13.
+var queueSizes = []int{16, 32, 64, 128, 256}
+
+func init() {
+	registerExp(Experiment{
+		ID:    "table1",
+		Title: "Table I: simulated GPU configuration",
+		Run:   runTable1,
+	})
+	registerExp(Experiment{
+		ID:    "fig2",
+		Title: "Fig. 2: pending-queue size vs. row activations (baseline FR-FCFS)",
+		Run: func(r *Runner, w io.Writer, _ string) error {
+			return runQueueSweep(r, w, mc.Baseline)
+		},
+	})
+	registerExp(Experiment{
+		ID:    "fig13",
+		Title: "Fig. 13: pending-queue size vs. row activations under DMS(2048)",
+		Run: func(r *Runner, w io.Writer, _ string) error {
+			s := mc.StaticDMS
+			s.StaticDelay = 2048
+			return runQueueSweep(r, w, s)
+		},
+	})
+}
+
+// runQueueSweep prints activations per queue size normalized to the
+// 128-entry baseline configuration, per app plus the geometric mean.
+func runQueueSweep(r *Runner, w io.Writer, scheme mc.Scheme) error {
+	header(w, "activations normalized to queue size 128 (baseline FR-FCFS)")
+	fmt.Fprintf(w, "%-14s", "app")
+	for _, q := range queueSizes {
+		fmt.Fprintf(w, " q=%-6d", q)
+	}
+	fmt.Fprintln(w)
+	norm := make([]float64, len(queueSizes))
+	counted := 0
+	for _, app := range r.Apps() {
+		base, err := r.Baseline(app)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s", app)
+		for i, q := range queueSizes {
+			res, err := r.Run(app, scheme, Variant{QueueSize: q})
+			if err != nil {
+				return err
+			}
+			v := ratio(float64(res.Run.Mem.Activations), float64(base.Run.Mem.Activations))
+			norm[i] += v
+			fmt.Fprintf(w, " %-8.3f", v)
+		}
+		counted++
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-14s", "MEAN")
+	for i := range queueSizes {
+		fmt.Fprintf(w, " %-8.3f", norm[i]/float64(counted))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runTable1(r *Runner, w io.Writer, _ string) error {
+	header(w, "Table I: key configuration parameters of the simulated GPU")
+	c := defaultConfigForPrint()
+	rows := [][2]string{
+		{"SM features", fmt.Sprintf("%.0f MHz core clock, %d SMs, SIMD width 32", c.CoreClockMHz, c.NumSMs)},
+		{"Resources/core", fmt.Sprintf("max %d warps (%d threads), %d schedulers/SM",
+			c.SM.MaxResidentWarps, c.SM.MaxResidentWarps*32, c.SM.Schedulers)},
+		{"L1D/core", fmt.Sprintf("%d KB %d-way, 128 B lines, %d MSHRs",
+			c.SM.L1.SizeBytes/1024, c.SM.L1.Ways, c.SM.L1MSHREntries)},
+		{"L2", fmt.Sprintf("%d-way %d KB/channel (%d KB total), 128 B lines",
+			c.L2.Ways, c.L2.SizeBytes/1024, c.L2.SizeBytes/1024*c.AddrMap.NumChannels)},
+		{"Memory model", fmt.Sprintf("%d GDDR5 MCs, FR-FCFS (queue %d), %d banks/MC, %d bank groups/MC, %.0f MHz",
+			c.AddrMap.NumChannels, c.MC.QueueSize, c.DRAM.NumBanks, c.DRAM.NumBankGroups, c.MemClockMHz)},
+		{"Interleaving", fmt.Sprintf("global linear space in %d B chunks across partitions", c.AddrMap.ChunkBytes)},
+		{"GDDR5 timing", fmt.Sprintf("tCL=%d tRP=%d tRC=%d tRAS=%d tCCD=%d tRCD=%d tRRD=%d tCDLR=%d",
+			c.DRAM.Timing.CL, c.DRAM.Timing.RP, c.DRAM.Timing.RC, c.DRAM.Timing.RAS,
+			c.DRAM.Timing.CCD, c.DRAM.Timing.RCD, c.DRAM.Timing.RRD, c.DRAM.Timing.CDLR)},
+		{"Energy model", fmt.Sprintf("%s: Eact=%.1f nJ, Erd=%.1f nJ, Ewr=%.1f nJ",
+			c.Energy.Name, c.Energy.ActNJ, c.Energy.RdNJ, c.Energy.WrNJ)},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-16s %s\n", row[0], row[1])
+	}
+	return nil
+}
+
+// rblBuckets are the stacked categories of Figs. 5 and 11.
+var rblBuckets = []struct {
+	Lo, Hi int
+	Label  string
+}{
+	{1, 1, "RBL(1)"},
+	{2, 2, "RBL(2)"},
+	{3, 4, "RBL(3-4)"},
+	{5, 8, "RBL(5-8)"},
+	{9, 16, "RBL(9-16)"},
+	{17, stats.MaxTrackedRBL, "RBL(>16)"},
+}

@@ -1,0 +1,167 @@
+// Package exp is the experiment harness: one driver per table/figure of the
+// paper's evaluation, all sharing a memoizing Runner so sweeps that revisit
+// the same (application, scheme, configuration) point pay for it once.
+// cmd/experiments and the repository's benchmarks are thin wrappers over
+// this package.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lazydram/internal/approx"
+	"lazydram/internal/mc"
+	"lazydram/internal/sim"
+	"lazydram/internal/workloads"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Seed drives workload input generation (golden and timed runs share it).
+	Seed int64
+	// Apps restricts the application set (nil: all 20).
+	Apps []string
+	// Quick shrinks nothing by itself but is recorded so callers can decide
+	// to trim sweeps; benchmarks set it.
+	Quick bool
+}
+
+// Runner executes simulations with memoization and caches golden outputs.
+type Runner struct {
+	opts   Options
+	mu     sync.Mutex
+	runs   map[string]*sim.Result
+	golden map[string][]float32
+}
+
+// NewRunner creates a Runner.
+func NewRunner(opts Options) *Runner {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return &Runner{
+		opts:   opts,
+		runs:   make(map[string]*sim.Result),
+		golden: make(map[string][]float32),
+	}
+}
+
+// Apps returns the application list in evaluation order.
+func (r *Runner) Apps() []string {
+	if r.opts.Apps != nil {
+		return r.opts.Apps
+	}
+	return workloads.Names()
+}
+
+// GroupApps returns the apps of the given paper groups, restricted to the
+// runner's app set.
+func (r *Runner) GroupApps(groups ...int) []string {
+	want := map[int]bool{}
+	for _, g := range groups {
+		want[g] = true
+	}
+	var out []string
+	for _, a := range r.Apps() {
+		if want[workloads.Group(a)] {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Variant tweaks one run beyond the scheme: pending-queue size and arbitrary
+// config mutation.
+type Variant struct {
+	QueueSize int // 0: default 128
+	Mutate    func(*sim.Config)
+	// Tag must uniquely identify Mutate's effect for memoization; required
+	// when Mutate is set.
+	Tag string
+}
+
+// Run simulates app under scheme (memoized) and returns the result with
+// AppError filled in against the golden functional run.
+func (r *Runner) Run(app string, scheme mc.Scheme, v Variant) (*sim.Result, error) {
+	key := fmt.Sprintf("%s|%s|d%d|t%d|q%d|%s",
+		app, scheme.Name(), scheme.StaticDelay, scheme.StaticThRBL, v.QueueSize, v.Tag)
+	r.mu.Lock()
+	if res, ok := r.runs[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	kern, err := workloads.New(app)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig()
+	if v.QueueSize > 0 {
+		cfg.MC.QueueSize = v.QueueSize
+	}
+	if v.Mutate != nil {
+		if v.Tag == "" {
+			return nil, fmt.Errorf("exp: Variant.Mutate requires a Tag for %s", app)
+		}
+		v.Mutate(&cfg)
+	}
+	res, err := sim.Simulate(kern, cfg, scheme, r.opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", app, scheme.Name(), err)
+	}
+	res.Run.AppError = approx.MeanRelativeError(r.Golden(app), res.Output)
+
+	r.mu.Lock()
+	r.runs[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// Golden returns (computing once) the exact functional output of app.
+func (r *Runner) Golden(app string) []float32 {
+	r.mu.Lock()
+	g, ok := r.golden[app]
+	r.mu.Unlock()
+	if ok {
+		return g
+	}
+	kern, err := workloads.New(app)
+	if err != nil {
+		return nil
+	}
+	g = sim.RunFunctional(kern, r.opts.Seed)
+	r.mu.Lock()
+	r.golden[app] = g
+	r.mu.Unlock()
+	return g
+}
+
+// Baseline is shorthand for the default-configuration baseline run.
+func (r *Runner) Baseline(app string) (*sim.Result, error) {
+	return r.Run(app, mc.Baseline, Variant{})
+}
+
+// DMS returns the Static-DMS(X) run for app.
+func (r *Runner) DMS(app string, delay int) (*sim.Result, error) {
+	s := mc.StaticDMS
+	s.StaticDelay = delay
+	return r.Run(app, s, Variant{})
+}
+
+// AMS returns the Static-AMS(th) run for app.
+func (r *Runner) AMS(app string, th int) (*sim.Result, error) {
+	s := mc.StaticAMS
+	s.StaticThRBL = th
+	return r.Run(app, s, Variant{})
+}
+
+// Both returns the Static-DMS(delay)+Static-AMS(th) run for app.
+func (r *Runner) Both(app string, delay, th int) (*sim.Result, error) {
+	s := mc.StaticBoth
+	s.StaticDelay = delay
+	s.StaticThRBL = th
+	return r.Run(app, s, Variant{})
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"lazydram/internal/workloads"
+)
+
+func init() {
+	registerExp(Experiment{
+		ID:    "table2",
+		Title: "Tables II & III: measured per-application feature classification",
+		Run:   runTable2,
+	})
+}
+
+// classify buckets a value with Table III's thresholds.
+func classify(v float64, lowHi, medHi float64) string {
+	switch {
+	case v < lowHi:
+		return "Low"
+	case v < medHi:
+		return "Medium"
+	default:
+		return "High"
+	}
+}
+
+// runTable2 re-measures the five features of Table III for every app and
+// prints both the measured value and its Low/Medium/High class, next to the
+// paper's class for comparison.
+func runTable2(r *Runner, w io.Writer, _ string) error {
+	header(w, "measured application features (Table III thresholds)")
+	fmt.Fprintf(w, "%-14s %-3s | %-16s | %-12s | %-14s | %-16s | %-14s\n",
+		"app", "grp", "thrash(req%1-8)", "MTD(cycles)", "act-sens(%)", "thrbl-sens(%)", "err-tol(err@10%)")
+	for _, app := range r.Apps() {
+		base, err := r.Baseline(app)
+		if err != nil {
+			return err
+		}
+
+		// Thrashing level: % of requests in rows with RBL(1-8).
+		thrash := 100 * base.Run.Mem.LowRBLReqFrac(1, 8)
+
+		// Maximum tolerable delay: largest swept delay keeping IPC >= 95%.
+		mtd := 0
+		for _, d := range delaySweep {
+			res, err := r.DMS(app, d)
+			if err != nil {
+				return err
+			}
+			if ratio(res.Run.IPC(), base.Run.IPC()) >= 0.95 {
+				mtd = d
+			}
+		}
+
+		// Activation sensitivity: reduction at DMS(2048).
+		d2048, err := r.DMS(app, 2048)
+		if err != nil {
+			return err
+		}
+		actSens := 100 * (1 - ratio(float64(d2048.Run.Mem.Activations), float64(base.Run.Mem.Activations)))
+
+		// Th_RBL sensitivity: extra activation reduction from lowering Th
+		// below 8 (best of Th in {4, 2, 1} versus Th = 8).
+		a8, err := r.AMS(app, 8)
+		if err != nil {
+			return err
+		}
+		bestActs := a8.Run.Mem.Activations
+		for _, th := range []int{4, 2, 1} {
+			res, err := r.AMS(app, th)
+			if err != nil {
+				return err
+			}
+			if res.Run.Mem.Activations < bestActs {
+				bestActs = res.Run.Mem.Activations
+			}
+		}
+		thSens := 100 * (ratio(float64(a8.Run.Mem.Activations), float64(base.Run.Mem.Activations)) -
+			ratio(float64(bestActs), float64(base.Run.Mem.Activations)))
+
+		// Error tolerance: application error at 10% coverage (AMS(8)).
+		appErr := 100 * a8.Run.AppError
+
+		// Classes per Table III. Error tolerance is inverted: lower error =
+		// higher tolerance.
+		errClass := "Low"
+		if appErr < 5 {
+			errClass = "High"
+		} else if appErr < 20 {
+			errClass = "Medium"
+		}
+		fmt.Fprintf(w, "%-14s %-3d | %6.1f%% %-8s | %-12d | %5.1f%% %-7s | %5.1f%% %-9s | %6.1f%% %-7s\n",
+			app, workloads.Group(app),
+			thrash, classify(thrash, 3, 10),
+			mtd,
+			actSens, classify(actSens, 10, 20),
+			thSens, map[bool]string{true: "High", false: "Low"}[thSens >= 5],
+			appErr, errClass)
+	}
+	fmt.Fprintln(w, "\nTable III thresholds: thrashing Low<3%/Med<10%; MTD Low<256/Med<1024;")
+	fmt.Fprintln(w, "act-sens Low<10%/Med<20%; Th_RBL-sens High>=5%; err-tol High<5%/Med<20%.")
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package icnt models the SM-to-memory-partition interconnect: one crossbar
+// per direction (Table I), reduced to its locality-relevant properties — a
+// fixed traversal latency, one packet per destination port per cycle, and
+// finite per-port queues with backpressure. The islip VC/switch allocation of
+// the paper's simulator is an arbitration detail that does not change which
+// rows are touched; bandwidth and latency do, and both are modelled here
+// (see DESIGN.md, "Known deviations").
+package icnt
+
+// Packet is one message in flight.
+type Packet struct {
+	Src     int
+	Dst     int
+	Payload any
+	readyAt uint64
+}
+
+// Config sizes a network.
+type Config struct {
+	// Ports is the number of destination ports.
+	Ports int
+	// LatencyCycles is the crossbar traversal latency.
+	LatencyCycles uint64
+	// QueueDepth is the per-destination-port buffer capacity.
+	QueueDepth int
+}
+
+// DefaultConfig returns the configuration used for both directions of the
+// simulated GPU: 8-cycle traversal, 32-packet port buffers.
+func DefaultConfig(ports int) Config {
+	return Config{Ports: ports, LatencyCycles: 8, QueueDepth: 32}
+}
+
+// Network is a one-direction crossbar. It is not safe for concurrent use.
+type Network struct {
+	cfg    Config
+	queues [][]Packet
+	// lastPop tracks the last cycle a packet was delivered per port, to
+	// enforce one delivery per port per cycle.
+	lastPop []uint64
+	sent    uint64
+}
+
+// New creates a network.
+func New(cfg Config) *Network {
+	n := &Network{
+		cfg:     cfg,
+		queues:  make([][]Packet, cfg.Ports),
+		lastPop: make([]uint64, cfg.Ports),
+	}
+	for i := range n.lastPop {
+		n.lastPop[i] = ^uint64(0) // no pops yet
+	}
+	return n
+}
+
+// CanSend reports whether the destination port can buffer another packet.
+func (n *Network) CanSend(dst int) bool {
+	return len(n.queues[dst]) < n.cfg.QueueDepth
+}
+
+// Send injects a packet at cycle now. It returns false (and drops nothing)
+// when the destination buffer is full; the caller must retry later.
+func (n *Network) Send(src, dst int, payload any, now uint64) bool {
+	if !n.CanSend(dst) {
+		return false
+	}
+	n.queues[dst] = append(n.queues[dst], Packet{
+		Src: src, Dst: dst, Payload: payload, readyAt: now + n.cfg.LatencyCycles,
+	})
+	n.sent++
+	return true
+}
+
+// Recv delivers at most one packet to dst at cycle now, in FIFO order.
+func (n *Network) Recv(dst int, now uint64) (Packet, bool) {
+	q := n.queues[dst]
+	if len(q) == 0 || q[0].readyAt > now || n.lastPop[dst] == now {
+		return Packet{}, false
+	}
+	p := q[0]
+	n.queues[dst] = q[1:]
+	n.lastPop[dst] = now
+	return p, true
+}
+
+// Peek returns the head packet for dst without removing it, if deliverable.
+func (n *Network) Peek(dst int, now uint64) (Packet, bool) {
+	q := n.queues[dst]
+	if len(q) == 0 || q[0].readyAt > now || n.lastPop[dst] == now {
+		return Packet{}, false
+	}
+	return q[0], true
+}
+
+// Pending returns the total number of packets in flight.
+func (n *Network) Pending() int {
+	t := 0
+	for _, q := range n.queues {
+		t += len(q)
+	}
+	return t
+}
+
+// Sent returns the total number of packets ever injected.
+func (n *Network) Sent() uint64 { return n.sent }

@@ -1,0 +1,91 @@
+package icnt_test
+
+import (
+	"testing"
+
+	"lazydram/internal/icnt"
+)
+
+func cfg() icnt.Config {
+	return icnt.Config{Ports: 4, LatencyCycles: 8, QueueDepth: 2}
+}
+
+func TestTraversalLatency(t *testing.T) {
+	n := icnt.New(cfg())
+	if !n.Send(0, 1, "x", 10) {
+		t.Fatal("send failed")
+	}
+	if _, ok := n.Recv(1, 17); ok {
+		t.Fatal("packet delivered before the traversal latency")
+	}
+	p, ok := n.Recv(1, 18)
+	if !ok || p.Payload != "x" || p.Src != 0 {
+		t.Fatalf("packet not delivered at latency: %+v ok=%v", p, ok)
+	}
+}
+
+func TestFIFOPerPort(t *testing.T) {
+	n := icnt.New(cfg())
+	n.Send(0, 1, "a", 0)
+	n.Send(2, 1, "b", 0)
+	p1, _ := n.Recv(1, 100)
+	p2, _ := n.Recv(1, 101)
+	if p1.Payload != "a" || p2.Payload != "b" {
+		t.Fatalf("out of order: %v, %v", p1.Payload, p2.Payload)
+	}
+}
+
+func TestOneDeliveryPerPortPerCycle(t *testing.T) {
+	n := icnt.New(cfg())
+	n.Send(0, 1, "a", 0)
+	n.Send(0, 1, "b", 1)
+	if _, ok := n.Recv(1, 50); !ok {
+		t.Fatal("first delivery failed")
+	}
+	if _, ok := n.Recv(1, 50); ok {
+		t.Fatal("two deliveries to one port in one cycle")
+	}
+	if _, ok := n.Recv(1, 51); !ok {
+		t.Fatal("second delivery failed on the next cycle")
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	n := icnt.New(cfg())
+	if !n.Send(0, 3, 1, 0) || !n.Send(0, 3, 2, 0) {
+		t.Fatal("sends within depth must succeed")
+	}
+	if n.CanSend(3) {
+		t.Fatal("CanSend true at capacity")
+	}
+	if n.Send(0, 3, 3, 0) {
+		t.Fatal("send beyond depth must fail")
+	}
+	// Other ports are unaffected.
+	if !n.CanSend(2) {
+		t.Fatal("unrelated port blocked")
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	n := icnt.New(cfg())
+	n.Send(0, 1, "a", 0)
+	if _, ok := n.Peek(1, 100); !ok {
+		t.Fatal("peek failed")
+	}
+	if _, ok := n.Recv(1, 100); !ok {
+		t.Fatal("recv after peek failed")
+	}
+	if n.Pending() != 0 {
+		t.Fatal("packet still pending after recv")
+	}
+}
+
+func TestPendingAndSentCounters(t *testing.T) {
+	n := icnt.New(cfg())
+	n.Send(0, 0, nil, 0)
+	n.Send(0, 1, nil, 0)
+	if n.Pending() != 2 || n.Sent() != 2 {
+		t.Fatalf("pending=%d sent=%d, want 2/2", n.Pending(), n.Sent())
+	}
+}

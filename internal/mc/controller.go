@@ -1,0 +1,411 @@
+package mc
+
+import (
+	"fmt"
+
+	"lazydram/internal/dram"
+	"lazydram/internal/stats"
+)
+
+// Mode selects a scheduling-unit variant.
+type Mode uint8
+
+// Unit modes.
+const (
+	Off Mode = iota
+	Static
+	Dyn
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Static:
+		return "static"
+	case Dyn:
+		return "dyn"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Scheme configures the lazy scheduler: which DMS/AMS variants run and their
+// parameters. The zero value is the plain FR-FCFS baseline.
+type Scheme struct {
+	DMS Mode
+	// StaticDelay is the DMS(X) delay in memory cycles for Static DMS
+	// (the paper uses 128).
+	StaticDelay int
+	AMS         Mode
+	// StaticThRBL is the AMS(Th_RBL) threshold for Static AMS (paper: 8).
+	StaticThRBL int
+	// CoverageTarget is the user-defined prediction-coverage cap
+	// (paper: 0.10).
+	CoverageTarget float64
+}
+
+// Named schemes from the paper's evaluation (Figure 12).
+var (
+	Baseline   = Scheme{}
+	StaticDMS  = Scheme{DMS: Static, StaticDelay: 128}
+	DynDMS     = Scheme{DMS: Dyn, StaticDelay: 128}
+	StaticAMS  = Scheme{AMS: Static, StaticThRBL: 8, CoverageTarget: 0.10}
+	DynAMS     = Scheme{AMS: Dyn, StaticThRBL: 8, CoverageTarget: 0.10}
+	StaticBoth = Scheme{DMS: Static, StaticDelay: 128, AMS: Static, StaticThRBL: 8, CoverageTarget: 0.10}
+	DynBoth    = Scheme{DMS: Dyn, StaticDelay: 128, AMS: Dyn, StaticThRBL: 8, CoverageTarget: 0.10}
+)
+
+// Name returns the scheme's display name as used in the paper's figures.
+func (s Scheme) Name() string {
+	switch {
+	case s.DMS == Off && s.AMS == Off:
+		return "Baseline"
+	case s.DMS == Static && s.AMS == Off:
+		if s.StaticDelay != 128 {
+			return fmt.Sprintf("DMS(%d)", s.StaticDelay)
+		}
+		return "Static-DMS"
+	case s.DMS == Dyn && s.AMS == Off:
+		return "Dyn-DMS"
+	case s.DMS == Off && s.AMS == Static:
+		if s.StaticThRBL != 8 {
+			return fmt.Sprintf("AMS(%d)", s.StaticThRBL)
+		}
+		return "Static-AMS"
+	case s.DMS == Off && s.AMS == Dyn:
+		return "Dyn-AMS"
+	case s.DMS == Static && s.AMS == Static:
+		return "Static-DMS+Static-AMS"
+	case s.DMS == Dyn && s.AMS == Dyn:
+		return "Dyn-DMS+Dyn-AMS"
+	default:
+		return fmt.Sprintf("DMS=%v+AMS=%v", s.DMS, s.AMS)
+	}
+}
+
+// Policy selects the first-order scheduling policy. The paper's baseline is
+// FR-FCFS with an open-row policy; FCFS (no hit-first reordering) and
+// closed-row variants are provided as comparison baselines for the paper's
+// Section II-C discussion.
+type Policy uint8
+
+// Scheduling policies.
+const (
+	// FRFCFS: row hits first, then oldest; rows stay open (paper baseline).
+	FRFCFS Policy = iota
+	// FCFS: per-bank strict arrival order, open-row policy.
+	FCFS
+	// FRFCFSClosedRow: FR-FCFS, but a row is precharged as soon as it has no
+	// pending requests.
+	FRFCFSClosedRow
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FRFCFS:
+		return "FR-FCFS"
+	case FCFS:
+		return "FCFS"
+	case FRFCFSClosedRow:
+		return "FR-FCFS/closed-row"
+	default:
+		return "Policy(?)"
+	}
+}
+
+// Config configures one memory controller.
+type Config struct {
+	// QueueSize is the pending-queue capacity (paper baseline: 128).
+	QueueSize int
+	// Policy is the first-order scheduling policy (default FRFCFS).
+	Policy Policy
+	// VPLatencyCycles is the memory-cycle latency of a value-predicted reply.
+	VPLatencyCycles uint64
+	// ProfileWindow is the Dyn-DMS/Dyn-AMS sampling window in memory cycles
+	// (the paper uses PaperProfileWindow; the default is scaled to the
+	// repository's scaled-down workloads).
+	ProfileWindow uint64
+	Scheme        Scheme
+}
+
+// DefaultConfig mirrors the paper's baseline controller.
+func DefaultConfig() Config {
+	return Config{QueueSize: 128, VPLatencyCycles: 2, ProfileWindow: DefaultProfileWindow}
+}
+
+// CompletionFunc receives finished requests. approx reports that the request
+// was dropped by AMS and must be value-predicted; readyAt is the memory cycle
+// the reply data is available at the controller.
+type CompletionFunc func(req *Request, approx bool, readyAt uint64)
+
+// VPReadyFunc reports whether the value-prediction unit is warmed up (the
+// paper warms the L2 before enabling AMS).
+type VPReadyFunc func() bool
+
+// Controller is one memory channel's scheduler: pending queue + FR-FCFS +
+// DMS/AMS units in front of a dram.Channel.
+type Controller struct {
+	cfg        Config
+	ch         *dram.Channel
+	st         *stats.Mem
+	onComplete CompletionFunc
+	vpReady    VPReadyFunc
+
+	banks  []bankQ
+	live   int // pending requests across banks
+	nextID uint64
+	dms    *dmsUnit
+	ams    *amsUnit
+	now    uint64
+}
+
+// New creates a controller in front of ch. onComplete must be non-nil;
+// vpReady may be nil when AMS is off (and is then treated as always-ready).
+func New(cfg Config, ch *dram.Channel, st *stats.Mem, onComplete CompletionFunc, vpReady VPReadyFunc) *Controller {
+	if cfg.QueueSize <= 0 {
+		panic("mc: QueueSize must be positive")
+	}
+	c := &Controller{
+		cfg:        cfg,
+		ch:         ch,
+		st:         st,
+		onComplete: onComplete,
+		vpReady:    vpReady,
+		banks:      make([]bankQ, ch.NumBanks()),
+	}
+	for i := range c.banks {
+		c.banks[i].rows = make(map[int64]*rowQ)
+	}
+	if cfg.ProfileWindow == 0 {
+		cfg.ProfileWindow = DefaultProfileWindow
+		c.cfg.ProfileWindow = DefaultProfileWindow
+	}
+	if cfg.Scheme.DMS != Off {
+		c.dms = newDMSUnit(cfg.Scheme, cfg.ProfileWindow)
+	}
+	if cfg.Scheme.AMS != Off {
+		c.ams = newAMSUnit(cfg.Scheme, cfg.ProfileWindow, st)
+	}
+	return c
+}
+
+// Full reports whether the pending queue cannot accept another request.
+func (c *Controller) Full() bool { return c.live >= c.cfg.QueueSize }
+
+// Pending returns the number of live requests in the pending queue.
+func (c *Controller) Pending() int { return c.live }
+
+// Push enqueues a request. It panics if the queue is full; callers gate on
+// Full for backpressure.
+func (c *Controller) Push(addr uint64, write, approximable bool, coord dram.Coord, meta any) *Request {
+	if c.Full() {
+		panic("mc: push to full pending queue")
+	}
+	c.nextID++
+	r := &Request{
+		ID:           c.nextID,
+		Addr:         addr,
+		Write:        write,
+		Approximable: approximable && !write,
+		Arrival:      c.now,
+		Coord:        coord,
+		Meta:         meta,
+	}
+	c.banks[coord.Bank].push(r)
+	c.live++
+	if write {
+		c.st.WriteReqs++
+	} else {
+		c.st.ReadReqs++
+	}
+	return r
+}
+
+// Delay returns the DMS delay currently in force, in memory cycles.
+func (c *Controller) Delay() int {
+	if c.dms == nil {
+		return 0
+	}
+	return c.dms.delay
+}
+
+// ThRBL returns the AMS threshold currently in force (0 when AMS is off).
+func (c *Controller) ThRBL() int {
+	if c.ams == nil {
+		return 0
+	}
+	return c.ams.thRBL
+}
+
+// Tick advances the controller by one memory cycle.
+func (c *Controller) Tick(now uint64) {
+	c.now = now
+	c.st.Cycles = now + 1
+	c.st.QueueOccSum += uint64(c.live)
+	c.st.DelaySum += uint64(c.Delay())
+	c.st.ThRBLSum += uint64(c.ThRBL())
+	amsHalted := false
+	if c.dms != nil {
+		amsHalted = c.dms.tick(now, c.st)
+	}
+	if c.ams != nil {
+		c.ams.tick(now)
+		if !amsHalted {
+			c.amsStep(now)
+		}
+	}
+	if c.ch.Refreshing(now) {
+		return // channel blocked by an all-bank refresh
+	}
+	c.issue(now)
+}
+
+// Drain flushes in-flight activation statistics; call at end of simulation.
+func (c *Controller) Drain() { c.ch.Drain() }
+
+// issue picks at most one DRAM command for this cycle, honouring the
+// configured policy (FR-FCFS by default: row hits first, then oldest) and
+// the DMS age gate on the row-miss path.
+func (c *Controller) issue(now uint64) {
+	if c.cfg.Policy == FRFCFSClosedRow && c.closeIdleRow(now) {
+		return
+	}
+	if c.live == 0 {
+		return
+	}
+	// First priority: the oldest issuable row-buffer hit. Under FCFS a
+	// column access only counts when it is also the bank's oldest request
+	// (no hit-first reordering).
+	var hit *Request
+	for b := range c.banks {
+		bq := &c.banks[b]
+		if bq.pending == 0 {
+			continue
+		}
+		or := c.ch.OpenRow(b)
+		if or == dram.NoRow {
+			continue
+		}
+		rq := bq.rows[or]
+		if rq == nil || rq.pending == 0 || rq.dropping {
+			continue
+		}
+		r := rq.oldest()
+		if r == nil {
+			continue
+		}
+		if c.cfg.Policy == FCFS {
+			if head := bq.oldest(); head == nil || head != r {
+				continue
+			}
+		}
+		ok := false
+		if r.Write {
+			ok = c.ch.CanWrite(b, now)
+		} else {
+			ok = c.ch.CanRead(b, now)
+		}
+		if ok && (hit == nil || r.Arrival < hit.Arrival) {
+			hit = r
+		}
+	}
+	if hit != nil {
+		c.issueColumn(hit, now)
+		return
+	}
+
+	// Row-miss path: per bank, the oldest pending request defines the next
+	// row (FR-FCFS); DMS gates precharge/activate on its age.
+	delay := uint64(c.Delay())
+	type action struct {
+		req *Request
+		pre bool
+	}
+	var best action
+	for b := range c.banks {
+		bq := &c.banks[b]
+		if bq.pending == 0 {
+			continue
+		}
+		r := bq.oldest()
+		if r == nil {
+			continue
+		}
+		or := c.ch.OpenRow(b)
+		if or == r.Coord.Row {
+			// A hit exists but its timing is not ready; nothing to do.
+			continue
+		}
+		if now-r.Arrival < delay {
+			continue // DMS: let the request age in the queue.
+		}
+		var a action
+		if or != dram.NoRow {
+			// Open-row policy: only close the row once it has no pending
+			// hits left. Under FCFS the bank head alone decides, so a miss
+			// at the head precharges past younger would-be hits.
+			if rq := bq.rows[or]; c.cfg.Policy != FCFS &&
+				rq != nil && rq.pending > 0 && !rq.dropping {
+				continue
+			}
+			if !c.ch.CanPrecharge(b, now) {
+				continue
+			}
+			a = action{req: r, pre: true}
+		} else {
+			if !c.ch.CanActivate(b, now) {
+				continue
+			}
+			a = action{req: r}
+		}
+		if best.req == nil || a.req.Arrival < best.req.Arrival {
+			best = a
+		}
+	}
+	switch {
+	case best.req == nil:
+	case best.pre:
+		c.ch.Precharge(best.req.Coord.Bank, now)
+	default:
+		c.ch.Activate(best.req.Coord.Bank, best.req.Coord.Row, now)
+	}
+}
+
+// closeIdleRow precharges one open row that has no pending requests (the
+// closed-row policy); it reports whether a command was issued.
+func (c *Controller) closeIdleRow(now uint64) bool {
+	for b := range c.banks {
+		or := c.ch.OpenRow(b)
+		if or == dram.NoRow {
+			continue
+		}
+		rq := c.banks[b].rows[or]
+		if rq != nil && (rq.pending > 0 || rq.dropping) {
+			continue
+		}
+		if c.ch.CanPrecharge(b, now) {
+			c.ch.Precharge(b, now)
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) issueColumn(r *Request, now uint64) {
+	b := r.Coord.Bank
+	var ready uint64
+	if r.Write {
+		ready = c.ch.Write(b, now)
+	} else {
+		ready = c.ch.Read(b, now)
+	}
+	c.retire(r, ReqServed)
+	c.onComplete(r, false, ready)
+}
+
+func (c *Controller) retire(r *Request, s ReqState) {
+	r.state = s
+	c.banks[r.Coord.Bank].retire(r)
+	c.live--
+}

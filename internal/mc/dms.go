@@ -1,0 +1,148 @@
+package mc
+
+import "lazydram/internal/stats"
+
+// Profiling constants shared by Dyn-DMS and Dyn-AMS (Section IV-B/IV-C).
+const (
+	// PaperProfileWindow is the paper's sampling window (4096 memory
+	// cycles, footnote 1). Our workloads are scaled ~100x smaller than the
+	// paper's full-size inputs, so the default window (Config.ProfileWindow)
+	// is scaled to DefaultProfileWindow to keep the number of profiling
+	// windows per run comparable.
+	PaperProfileWindow = 4096
+	// DefaultProfileWindow is the scaled default window.
+	DefaultProfileWindow = 1024
+	// DelayStep is the Dyn-DMS delay increment per window.
+	DelayStep = 128
+	// MaxDelay and MinDelay bound the Dyn-DMS delay.
+	MaxDelay = 2048
+	MinDelay = 0
+	// BWThreshold: a window's BWUTIL must stay above this fraction of the
+	// sampled baseline (the paper's 95%).
+	BWThreshold = 0.95
+	// RestartWindows is how many windows elapse before Dyn-DMS restarts its
+	// search to capture phase changes.
+	RestartWindows = 32
+	// MinThRBL and MaxThRBL bound the Dyn-AMS threshold search.
+	MinThRBL = 1
+	MaxThRBL = 8
+)
+
+type dmsPhase uint8
+
+const (
+	dmsSampling dmsPhase = iota
+	dmsSearching
+	dmsSettled
+)
+
+// dmsUnit implements Static-DMS and Dyn-DMS. For Static mode the delay is
+// fixed; for Dyn mode the unit samples the baseline bandwidth utilization
+// with delay 0 (AMS halted), then walks the delay in DelayStep increments
+// while BWUTIL stays above BWThreshold of the baseline, settling on the last
+// compliant value and restarting every RestartWindows windows from the
+// recorded delay.
+type dmsUnit struct {
+	mode     Mode
+	window   uint64
+	delay    int
+	recorded int
+
+	phase          dmsPhase
+	baselineBW     float64
+	busyAtWinStart uint64
+	winStart       uint64
+	winCount       int
+	searchingDown  bool
+	// warmup marks the first window after a delay change, whose BWUTIL is
+	// polluted by the transition transient and therefore not judged.
+	warmup bool
+}
+
+func newDMSUnit(s Scheme, window uint64) *dmsUnit {
+	u := &dmsUnit{mode: s.DMS, window: window, delay: s.StaticDelay, recorded: s.StaticDelay}
+	if s.DMS == Dyn {
+		// Start by sampling the no-delay baseline.
+		u.delay = 0
+		u.phase = dmsSampling
+	}
+	return u
+}
+
+// tick advances the unit by one memory cycle and reports whether AMS must be
+// halted this cycle (true only during Dyn-DMS baseline-sampling windows).
+func (u *dmsUnit) tick(now uint64, st *stats.Mem) (amsHalted bool) {
+	if u.mode != Dyn {
+		return false
+	}
+	if now-u.winStart >= u.window {
+		u.windowEnd(st)
+		u.winStart = now
+		u.busyAtWinStart = st.DataBusBusy
+	}
+	return u.phase == dmsSampling
+}
+
+func (u *dmsUnit) windowEnd(st *stats.Mem) {
+	bw := float64(st.DataBusBusy-u.busyAtWinStart) / float64(u.window)
+	u.winCount++
+	switch u.phase {
+	case dmsSampling:
+		u.baselineBW = bw
+		u.phase = dmsSearching
+		u.searchingDown = false
+		u.delay = u.recorded
+		if u.delay < DelayStep {
+			u.delay = DelayStep
+		}
+		u.warmup = true
+	case dmsSearching:
+		if u.warmup {
+			u.warmup = false
+			break
+		}
+		ok := bw >= BWThreshold*u.baselineBW
+		switch {
+		case !u.searchingDown && ok:
+			if u.delay >= MaxDelay {
+				u.delay = MaxDelay
+				u.settle()
+			} else {
+				u.delay += DelayStep
+				u.warmup = true
+			}
+		case !u.searchingDown && !ok:
+			u.searchingDown = true
+			u.stepDown()
+			u.warmup = true
+		case u.searchingDown && ok:
+			u.settle()
+		default: // searchingDown && !ok
+			u.stepDown()
+			u.warmup = true
+		}
+	case dmsSettled:
+		// Hold the settled delay.
+	}
+	if u.winCount >= RestartWindows {
+		// Restart to capture application phase changes; the recorded delay
+		// seeds the next search.
+		u.recorded = u.delay
+		u.winCount = 0
+		u.phase = dmsSampling
+		u.delay = 0
+	}
+}
+
+func (u *dmsUnit) stepDown() {
+	u.delay -= DelayStep
+	if u.delay <= MinDelay {
+		u.delay = MinDelay
+		u.settle()
+	}
+}
+
+func (u *dmsUnit) settle() {
+	u.recorded = u.delay
+	u.phase = dmsSettled
+}

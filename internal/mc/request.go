@@ -1,0 +1,152 @@
+// Package mc implements the paper's lazy memory scheduler: a First-Row
+// First-Come-First-Serve (FR-FCFS) memory controller with a re-order pending
+// queue, extended by the two proposed units:
+//
+//   - DMS (delayed memory scheduling): row-miss requests may only trigger a
+//     precharge/activate once the oldest request destined to the bank has
+//     aged at least Delay cycles in the pending queue, giving the scheduler
+//     more visibility of future same-row requests (Section IV-B).
+//   - AMS (approximate memory scheduling): the oldest pending request is
+//     dropped — answered by the value-prediction unit instead of DRAM — when
+//     it is an approximable global read whose row has a visible RBL at most
+//     Th_RBL, no pending same-row writes, and the prediction coverage budget
+//     is not exhausted (Section IV-C).
+//
+// Both units come in Static and Dyn(-profiling) variants exactly as in the
+// paper.
+package mc
+
+import "lazydram/internal/dram"
+
+// ReqState tracks the lifecycle of a request inside the pending queue.
+type ReqState uint8
+
+// Request lifecycle states.
+const (
+	ReqPending ReqState = iota
+	ReqServed           // issued to a DRAM bank
+	ReqDropped          // dropped by AMS, value-predicted
+)
+
+// Request is one 128-byte line request in the memory controller.
+type Request struct {
+	// ID is assigned by the controller on Push, unique per controller.
+	ID uint64
+	// Addr is the line-aligned global address.
+	Addr uint64
+	// Write distinguishes write-backs/fills-for-write from read fills.
+	Write bool
+	// Approximable marks global reads to programmer-annotated approximable
+	// data (the paper's pragma pred_var) that are safe to value-predict.
+	Approximable bool
+	// Arrival is the memory cycle the request entered the pending queue.
+	Arrival uint64
+	// Coord is the decoded DRAM coordinate of Addr.
+	Coord dram.Coord
+	// Meta is an opaque upstream cookie (e.g. the MSHR entry) returned with
+	// the completion callback.
+	Meta any
+
+	state ReqState
+}
+
+// State returns the request's lifecycle state.
+func (r *Request) State() ReqState { return r.state }
+
+// rowQ collects the pending requests destined to one (bank, row) pair, in
+// arrival order. Served/dropped entries are removed lazily.
+type rowQ struct {
+	reqs             []*Request
+	pending          int
+	pendingWrites    int
+	pendingNonApprox int
+	dropping         bool
+}
+
+func (q *rowQ) push(r *Request) {
+	q.reqs = append(q.reqs, r)
+	q.pending++
+	if r.Write {
+		q.pendingWrites++
+	}
+	if !r.Approximable {
+		q.pendingNonApprox++
+	}
+}
+
+// oldest returns the oldest still-pending request, trimming dead entries.
+func (q *rowQ) oldest() *Request {
+	for len(q.reqs) > 0 && q.reqs[0].state != ReqPending {
+		q.reqs = q.reqs[1:]
+	}
+	if len(q.reqs) == 0 {
+		return nil
+	}
+	return q.reqs[0]
+}
+
+func (q *rowQ) retire(r *Request) {
+	q.pending--
+	if r.Write {
+		q.pendingWrites--
+	}
+	if !r.Approximable {
+		q.pendingNonApprox--
+	}
+}
+
+// bankQ is the per-bank view of the pending queue.
+type bankQ struct {
+	fifo    []*Request // arrival order, lazily trimmed
+	rows    map[int64]*rowQ
+	pending int
+}
+
+func (b *bankQ) push(r *Request) {
+	b.fifo = append(b.fifo, r)
+	rq := b.rows[r.Coord.Row]
+	if rq == nil {
+		rq = &rowQ{}
+		b.rows[r.Coord.Row] = rq
+	}
+	rq.push(r)
+	b.pending++
+}
+
+// oldest returns the oldest pending request in the bank whose row is not
+// currently being drained by an AMS row drop.
+func (b *bankQ) oldest() *Request {
+	for len(b.fifo) > 0 && b.fifo[0].state != ReqPending {
+		b.fifo = b.fifo[1:]
+	}
+	for _, r := range b.fifo {
+		if r.state != ReqPending {
+			continue
+		}
+		if rq := b.rows[r.Coord.Row]; rq != nil && rq.dropping {
+			continue
+		}
+		return r
+	}
+	return nil
+}
+
+// oldestAny returns the oldest pending request regardless of drop state.
+func (b *bankQ) oldestAny() *Request {
+	for len(b.fifo) > 0 && b.fifo[0].state != ReqPending {
+		b.fifo = b.fifo[1:]
+	}
+	if len(b.fifo) == 0 {
+		return nil
+	}
+	return b.fifo[0]
+}
+
+func (b *bankQ) retire(r *Request) {
+	b.pending--
+	rq := b.rows[r.Coord.Row]
+	rq.retire(r)
+	if rq.pending == 0 && !rq.dropping {
+		delete(b.rows, r.Coord.Row)
+	}
+}

@@ -1,0 +1,101 @@
+// Package memimage provides the simulated global (DRAM) memory image and a
+// bump allocator for workload buffers.
+//
+// The image is the functional ground truth of the simulation: DRAM reads are
+// served from it and dirty L2 write-backs are applied to it. Approximated
+// (value-predicted) data never reaches the image; it only lives in caches and
+// in warp registers, mirroring the paper's value-prediction unit which
+// operates on the reply path.
+package memimage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// LineSize is the cache-line (and DRAM access) granularity in bytes.
+const LineSize = 128
+
+// Image is a flat simulated physical address space.
+//
+// The zero value is not usable; create one with New.
+type Image struct {
+	data []byte
+	brk  uint64
+}
+
+// New creates an image of the given capacity in bytes, rounded up to a
+// multiple of LineSize.
+func New(capacity uint64) *Image {
+	capacity = (capacity + LineSize - 1) / LineSize * LineSize
+	return &Image{
+		data: make([]byte, capacity),
+		// Leave line 0 unused so that address 0 can mean "no address".
+		brk: LineSize,
+	}
+}
+
+// Size returns the capacity of the image in bytes.
+func (im *Image) Size() uint64 { return uint64(len(im.data)) }
+
+// Alloc reserves size bytes aligned to LineSize and returns the base address.
+// It panics if the image is exhausted; workloads size their images up front.
+func (im *Image) Alloc(size uint64) uint64 {
+	base := im.brk
+	size = (size + LineSize - 1) / LineSize * LineSize
+	if base+size > uint64(len(im.data)) {
+		panic(fmt.Sprintf("memimage: out of memory: need %d at %d, capacity %d",
+			size, base, len(im.data)))
+	}
+	im.brk += size
+	return base
+}
+
+// ReadLine copies the 128-byte line containing addr into dst.
+func (im *Image) ReadLine(addr uint64, dst []byte) {
+	base := addr &^ uint64(LineSize-1)
+	copy(dst[:LineSize], im.data[base:base+LineSize])
+}
+
+// WriteLine stores a full 128-byte line at the line containing addr.
+func (im *Image) WriteLine(addr uint64, src []byte) {
+	base := addr &^ uint64(LineSize-1)
+	copy(im.data[base:base+LineSize], src[:LineSize])
+}
+
+// Read32 returns the little-endian 32-bit word at addr.
+func (im *Image) Read32(addr uint64) uint32 {
+	return binary.LittleEndian.Uint32(im.data[addr:])
+}
+
+// Write32 stores a little-endian 32-bit word at addr.
+func (im *Image) Write32(addr uint64, v uint32) {
+	binary.LittleEndian.PutUint32(im.data[addr:], v)
+}
+
+// ReadF32 returns the float32 stored at addr.
+func (im *Image) ReadF32(addr uint64) float32 {
+	return math.Float32frombits(im.Read32(addr))
+}
+
+// WriteF32 stores a float32 at addr.
+func (im *Image) WriteF32(addr uint64, v float32) {
+	im.Write32(addr, math.Float32bits(v))
+}
+
+// ReadF32Slice copies n float32 values starting at addr into a new slice.
+func (im *Image) ReadF32Slice(addr uint64, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = im.ReadF32(addr + uint64(4*i))
+	}
+	return out
+}
+
+// WriteF32Slice stores the values consecutively starting at addr.
+func (im *Image) WriteF32Slice(addr uint64, vals []float32) {
+	for i, v := range vals {
+		im.WriteF32(addr+uint64(4*i), v)
+	}
+}

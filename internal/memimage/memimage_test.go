@@ -1,0 +1,98 @@
+package memimage_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lazydram/internal/memimage"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	im := memimage.New(1 << 20)
+	a := im.Alloc(5)
+	b := im.Alloc(1)
+	if a%memimage.LineSize != 0 || b%memimage.LineSize != 0 {
+		t.Fatalf("allocations not line aligned: %d, %d", a, b)
+	}
+	if b-a < memimage.LineSize {
+		t.Fatal("allocations overlap")
+	}
+	if a == 0 {
+		t.Fatal("address 0 must stay reserved")
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	im := memimage.New(512)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-allocation must panic")
+		}
+	}()
+	im.Alloc(1 << 20)
+}
+
+func TestWord32RoundTrip(t *testing.T) {
+	im := memimage.New(1 << 16)
+	base := im.Alloc(1024)
+	f := func(off uint16, v uint32) bool {
+		addr := base + uint64(off%1000)
+		im.Write32(addr, v)
+		return im.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF32RoundTrip(t *testing.T) {
+	im := memimage.New(1 << 16)
+	base := im.Alloc(64)
+	values := []float32{0, 1.5, -3.25, float32(math.Inf(1)), 1e-38}
+	for i, v := range values {
+		im.WriteF32(base+uint64(4*i), v)
+	}
+	for i, v := range values {
+		if got := im.ReadF32(base + uint64(4*i)); got != v {
+			t.Fatalf("ReadF32[%d] = %v, want %v", i, got, v)
+		}
+	}
+}
+
+func TestF32SliceRoundTrip(t *testing.T) {
+	im := memimage.New(1 << 16)
+	base := im.Alloc(1024)
+	want := []float32{1, 2, 3, 4.5, -6}
+	im.WriteF32Slice(base, want)
+	got := im.ReadF32Slice(base, len(want))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slice[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLineRoundTripAndAlignment(t *testing.T) {
+	im := memimage.New(1 << 16)
+	base := im.Alloc(512)
+	src := make([]byte, memimage.LineSize)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	im.WriteLine(base+64, src) // unaligned address targets its whole line
+	dst := make([]byte, memimage.LineSize)
+	im.ReadLine(base+127, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("line byte %d = %d, want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestSizeRoundsUpToLineMultiple(t *testing.T) {
+	im := memimage.New(100)
+	if im.Size()%memimage.LineSize != 0 {
+		t.Fatalf("Size %d not a line multiple", im.Size())
+	}
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"fmt"
+	"iter"
+	"math/rand"
+
+	"lazydram/internal/approx"
+	"lazydram/internal/core"
+	"lazydram/internal/icnt"
+	"lazydram/internal/mc"
+	"lazydram/internal/memimage"
+	"lazydram/internal/stats"
+)
+
+// Result carries everything a run produced.
+type Result struct {
+	Run    stats.Run
+	Output []float32
+	// Image is the final memory image, with all dirty cache lines flushed;
+	// useful for inspecting buffers beyond Output.
+	Image *memimage.Image
+	// VPPredictions / VPFallbacks aggregate the value-prediction unit's
+	// activity across partitions.
+	VPPredictions uint64
+	VPFallbacks   uint64
+}
+
+// GPU is one fully wired simulated GPU executing one kernel. Partitions,
+// interconnect and clocks persist across the kernel's phases (mirroring the
+// L2 staying warm across dependent kernel launches); SMs are re-seeded per
+// phase.
+type GPU struct {
+	cfg    Config
+	scheme mc.Scheme
+	kern   Kernel
+	im     *memimage.Image
+
+	sms        []*core.SM
+	partitions []*partition
+	reqNet     *icnt.Network
+	replyNet   *icnt.Network
+
+	coreCycle uint64
+	memCycle  uint64
+	memAcc    float64
+
+	insts      uint64
+	l1Accesses uint64
+	l1Misses   uint64
+}
+
+// NewGPU builds a GPU for the kernel under the given scheme; Setup has
+// already populated im.
+func NewGPU(cfg Config, scheme mc.Scheme, kern Kernel, im *memimage.Image) *GPU {
+	g := &GPU{cfg: cfg, scheme: scheme, kern: kern, im: im}
+	annot := kern.Annotations()
+	if scheme.AMS == mc.Off {
+		annot = nil // nothing is approximable without AMS
+	}
+	nParts := cfg.AddrMap.NumChannels
+	for p := 0; p < nParts; p++ {
+		g.partitions = append(g.partitions, newPartition(p, &g.cfg, im, annot, scheme))
+	}
+	g.reqNet = icnt.New(g.cfg.icntConfig(nParts))
+	g.replyNet = icnt.New(g.cfg.icntConfig(cfg.NumSMs))
+	return g
+}
+
+// Run executes every phase of the kernel to completion and returns
+// aggregated statistics.
+func (g *GPU) Run() (*Result, error) {
+	for ph := 0; ph < g.kern.Phases(); ph++ {
+		g.seedPhase(ph)
+		if err := g.runPhase(); err != nil {
+			return nil, err
+		}
+		g.retireSMs()
+	}
+	return g.collect(), nil
+}
+
+// seedPhase distributes the phase's thread blocks round-robin over fresh SMs
+// (L1 caches start cold per launch, as on real hardware).
+func (g *GPU) seedPhase(ph int) {
+	wpb := g.cfg.WarpsPerBlock
+	if wpb < 1 {
+		wpb = 1
+	}
+	warpsPerSM := make([][]int, g.cfg.NumSMs)
+	for w := 0; w < g.kern.NumWarps(ph); w++ {
+		s := (w / wpb) % g.cfg.NumSMs
+		warpsPerSM[s] = append(warpsPerSM[s], w)
+	}
+	prog := core.Program(func(warpID int, ctx *core.Ctx) iter.Seq[core.Op] {
+		return g.kern.Program(ph, warpID, ctx)
+	})
+	g.sms = g.sms[:0]
+	for s := 0; s < g.cfg.NumSMs; s++ {
+		g.sms = append(g.sms, core.NewSM(s, g.cfg.SM, prog, warpsPerSM[s]))
+	}
+}
+
+func (g *GPU) retireSMs() {
+	for _, s := range g.sms {
+		g.insts += s.Insts()
+		ls := s.L1Stats()
+		g.l1Accesses += ls.Accesses
+		g.l1Misses += ls.Misses
+	}
+}
+
+func (g *GPU) runPhase() error {
+	memPerCore := g.cfg.MemClockMHz / g.cfg.CoreClockMHz
+	for {
+		if g.coreCycle >= g.cfg.MaxCoreCycles {
+			g.shutdown()
+			return fmt.Errorf("sim: %s exceeded %d core cycles", g.kern.Name(), g.cfg.MaxCoreCycles)
+		}
+		g.coreTick()
+		g.memAcc += memPerCore
+		if g.memAcc >= 1 {
+			g.memAcc--
+			for _, p := range g.partitions {
+				p.memTick(g.memCycle)
+			}
+			g.memCycle++
+		}
+		g.coreCycle++
+		if g.coreCycle%512 == 0 && g.done() {
+			return nil
+		}
+	}
+}
+
+func (g *GPU) shutdown() {
+	for _, s := range g.sms {
+		s.Shutdown()
+	}
+}
+
+func (g *GPU) coreTick() {
+	now := g.coreCycle
+	// 1. Partitions release due L2-hit replies and push replies to the net.
+	for _, p := range g.partitions {
+		p.coreTick(now)
+		if r := p.popReply(); r != nil {
+			if !g.replyNet.Send(p.id, r.Req.SM, r, now) {
+				p.unpopReply(r)
+			}
+		}
+	}
+	// 2. Reply network delivers to SMs.
+	for s, sm := range g.sms {
+		if pkt, ok := g.replyNet.Recv(s, now); ok {
+			sm.HandleReply(pkt.Payload.(*core.MemReply), now)
+		}
+	}
+	// 3. SMs execute; their sends are routed by address.
+	for _, sm := range g.sms {
+		sm.Tick(now, g.sendReq(now))
+	}
+	// 4. Request network delivers to partitions, honouring backpressure.
+	for pi, p := range g.partitions {
+		pkt, ok := g.reqNet.Peek(pi, now)
+		if !ok {
+			continue
+		}
+		if p.acceptReq(pkt.Payload.(*core.MemReq), now) {
+			g.reqNet.Recv(pi, now)
+		}
+	}
+}
+
+func (g *GPU) sendReq(now uint64) func(*core.MemReq) bool {
+	return func(r *core.MemReq) bool {
+		dst := g.cfg.AddrMap.Decode(r.LineAddr).Channel
+		return g.reqNet.Send(r.SM, dst, r, now)
+	}
+}
+
+func (g *GPU) done() bool {
+	for _, s := range g.sms {
+		if !s.Done() {
+			return false
+		}
+	}
+	if g.reqNet.Pending() > 0 || g.replyNet.Pending() > 0 {
+		return false
+	}
+	for _, p := range g.partitions {
+		if !p.idle() {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *GPU) collect() *Result {
+	res := &Result{}
+	r := &res.Run
+	r.App = g.kern.Name()
+	r.Scheme = g.scheme.Name()
+	r.CoreCycles = g.coreCycle
+	r.Instructions = g.insts
+	r.L1Accesses = g.l1Accesses
+	r.L1Misses = g.l1Misses
+	for _, p := range g.partitions {
+		p.drainStats()
+		r.Mem.Merge(&p.st)
+		l2 := p.l2.Stats()
+		r.L2Accesses += l2.Accesses
+		r.L2Misses += l2.Misses
+		switch vp := p.vp.(type) {
+		case *approx.VPUnit:
+			res.VPPredictions += vp.Predictions
+			res.VPFallbacks += vp.Fallbacks
+		case *approx.ZeroPredictor:
+			res.VPPredictions += vp.Predictions
+		case *approx.LastValuePredictor:
+			res.VPPredictions += vp.Predictions
+			res.VPFallbacks += vp.Fallbacks
+		}
+		if d := p.ctrl.Delay(); d > r.FinalDelay {
+			r.FinalDelay = d
+		}
+		if t := p.ctrl.ThRBL(); t > r.FinalThRBL {
+			r.FinalThRBL = t
+		}
+		p.flush()
+	}
+	prof := g.cfg.Energy
+	r.RowEnergy = prof.RowEnergyNJ(&r.Mem)
+	r.MemEnergy = prof.MemEnergyNJ(&r.Mem, g.memCycle, g.cfg.MemClockMHz*1e6, len(g.partitions))
+	res.Output = g.kern.Output(g.im)
+	res.Image = g.im
+	return res
+}
+
+// Simulate is the one-call entry point: set up the kernel's memory, run all
+// its phases under the scheme, flush caches, and return the results.
+func Simulate(kern Kernel, cfg Config, scheme mc.Scheme, seed int64) (*Result, error) {
+	im := memimage.New(kern.MemBytes() + 4*memimage.LineSize)
+	rng := rand.New(rand.NewSource(seed))
+	kern.Setup(im, rng)
+	g := NewGPU(cfg, scheme, kern, im)
+	return g.Run()
+}

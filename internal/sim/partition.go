@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"container/heap"
+
+	"lazydram/internal/approx"
+	"lazydram/internal/cache"
+	"lazydram/internal/core"
+	"lazydram/internal/dram"
+	"lazydram/internal/mc"
+	"lazydram/internal/memimage"
+	"lazydram/internal/stats"
+)
+
+// wbEntry is a dirty L2 line waiting to enter the memory controller.
+type wbEntry struct {
+	addr uint64
+	data [cache.LineSize]byte
+}
+
+// doneItem is a completed (or dropped) MC request waiting for its data-ready
+// time in memory cycles.
+type doneItem struct {
+	readyAt uint64
+	req     *mc.Request
+	approx  bool
+}
+
+type doneHeap []doneItem
+
+func (h doneHeap) Len() int           { return len(h) }
+func (h doneHeap) Less(i, j int) bool { return h[i].readyAt < h[j].readyAt }
+func (h doneHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *doneHeap) Push(x any)        { *h = append(*h, x.(doneItem)) }
+func (h *doneHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// hitItem is an L2 hit reply waiting for the L2 access latency, in core
+// cycles.
+type hitItem struct {
+	readyAt uint64
+	rep     *core.MemReply
+}
+
+type hitHeap []hitItem
+
+func (h hitHeap) Len() int           { return len(h) }
+func (h hitHeap) Less(i, j int) bool { return h[i].readyAt < h[j].readyAt }
+func (h hitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x any)        { *h = append(*h, x.(hitItem)) }
+func (h *hitHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// partition is one memory partition: L2 slice, its MSHRs, the lazy memory
+// controller, one DRAM channel, and the value-prediction unit.
+type partition struct {
+	id    int
+	cfg   *Config
+	im    *memimage.Image
+	annot *approx.Annotations
+
+	l2    *cache.Cache
+	mshr  *cache.MSHR
+	dchan *dram.Channel
+	ctrl  *mc.Controller
+	vp    approx.Predictor
+	nlVP  *approx.VPUnit // non-nil when VPKind is "nearest"
+	st    stats.Mem
+
+	wbQueue    []wbEntry
+	done       doneHeap
+	hits       hitHeap
+	outReplies []*core.MemReply
+}
+
+func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotations, scheme mc.Scheme) *partition {
+	p := &partition{id: id, cfg: cfg, im: im, annot: annot}
+	p.l2 = cache.New(cfg.L2)
+	p.mshr = cache.NewMSHR(cfg.L2MSHREntries, cfg.L2MSHRTargets)
+	p.dchan = dram.NewChannel(cfg.DRAM, &p.st)
+	switch cfg.VPKind {
+	case "zero":
+		p.vp = &approx.ZeroPredictor{}
+	case "lastvalue":
+		p.vp = &approx.LastValuePredictor{WarmFills: cfg.VP.WarmFills}
+	default: // "nearest", the paper's VP unit
+		p.nlVP = approx.NewVPUnit(cfg.VP, p.l2)
+		p.vp = p.nlVP
+	}
+	mcCfg := cfg.MC
+	mcCfg.Scheme = scheme
+	p.ctrl = mc.New(mcCfg, p.dchan, &p.st, p.onMCComplete, p.vp.Ready)
+	return p
+}
+
+func (p *partition) onMCComplete(req *mc.Request, approxDrop bool, readyAt uint64) {
+	if req.Write {
+		// The write-back's data was already committed to the image when the
+		// line left the L2 (see queueWB); the WR command only models timing
+		// and energy.
+		return
+	}
+	heap.Push(&p.done, doneItem{readyAt: readyAt, req: req, approx: approxDrop})
+}
+
+// queueWB commits an evicted dirty line to the image immediately and queues
+// the DRAM write command. Committing at eviction time keeps the image the
+// authoritative latest memory state, so a concurrent read fill for the same
+// line can never observe pre-write-back data (real controllers achieve this
+// by snooping the write queue; we fold it into the functional state).
+func (p *partition) queueWB(addr uint64, data []byte) {
+	p.im.WriteLine(addr, data)
+	var e wbEntry
+	e.addr = addr
+	copy(e.data[:], data)
+	p.wbQueue = append(p.wbQueue, e)
+}
+
+// memTick advances the partition by one memory cycle.
+func (p *partition) memTick(now uint64) {
+	// Drain one write-back into the pending queue per memory cycle.
+	if len(p.wbQueue) > 0 && !p.ctrl.Full() {
+		wb := p.wbQueue[0]
+		p.wbQueue = p.wbQueue[1:]
+		coord := p.cfg.AddrMap.Decode(wb.addr)
+		p.ctrl.Push(wb.addr, true, false, coord, nil)
+	}
+	p.ctrl.Tick(now)
+	for len(p.done) > 0 && p.done[0].readyAt <= now {
+		it := heap.Pop(&p.done).(doneItem)
+		p.finishFill(it)
+	}
+}
+
+// finishFill installs a returned (or value-predicted) line in the L2, merges
+// pending stores, and queues replies for every merged load waiter.
+func (p *partition) finishFill(it doneItem) {
+	line := it.req.Addr
+	e := p.mshr.Lookup(line)
+	var data [cache.LineSize]byte
+	if it.approx {
+		data = p.vp.Predict(line)
+	} else {
+		p.im.ReadLine(line, data[:])
+		p.vp.Observe(line, &data)
+	}
+	if ev, evicted := p.l2.Fill(line, data[:], it.approx); evicted {
+		p.queueWB(ev.Addr, ev.Data[:])
+	}
+	if e == nil {
+		return // scripted/direct MC traffic without an L2 waiter
+	}
+	p.mshr.Remove(line)
+	for _, s := range e.Stores {
+		p.l2.MergeWord(s.Addr, s.Val, s.N, true)
+		applyWord(&data, s)
+	}
+	for _, t := range e.Targets {
+		req := t.(*core.MemReq)
+		rep := &core.MemReply{Req: req, Approx: it.approx}
+		rep.Data = data
+		p.outReplies = append(p.outReplies, rep)
+	}
+}
+
+func applyWord(data *[cache.LineSize]byte, s cache.PendingStore) {
+	off := int(s.Addr % cache.LineSize)
+	for i := 0; i < s.N; i++ {
+		data[off+i] = byte(s.Val >> (8 * i))
+	}
+}
+
+// coreTick advances the partition's core-clock side: releasing L2 hits whose
+// latency elapsed.
+func (p *partition) coreTick(now uint64) {
+	for len(p.hits) > 0 && p.hits[0].readyAt <= now {
+		it := heap.Pop(&p.hits).(hitItem)
+		p.outReplies = append(p.outReplies, it.rep)
+	}
+}
+
+// popReply hands the next outgoing reply to the reply network, if any.
+func (p *partition) popReply() *core.MemReply {
+	if len(p.outReplies) == 0 {
+		return nil
+	}
+	r := p.outReplies[0]
+	p.outReplies = p.outReplies[1:]
+	return r
+}
+
+func (p *partition) unpopReply(r *core.MemReply) {
+	p.outReplies = append([]*core.MemReply{r}, p.outReplies...)
+}
+
+// acceptReq attempts to consume one SM transaction. It returns false when a
+// structural hazard (MSHR or pending queue full) forces the request to wait
+// in the network.
+func (p *partition) acceptReq(req *core.MemReq, now uint64) bool {
+	line := req.LineAddr
+	if req.Load {
+		var data [cache.LineSize]byte
+		if p.l2.Read(line, data[:]) {
+			rep := &core.MemReply{Req: req}
+			rep.Data = data
+			heap.Push(&p.hits, hitItem{readyAt: now + p.cfg.L2HitLatency, rep: rep})
+			return true
+		}
+		if e := p.mshr.Lookup(line); e != nil {
+			if !p.mshr.CanMerge(e) {
+				return false
+			}
+			e.Targets = append(e.Targets, req)
+			return true
+		}
+		if p.mshr.Full() || p.ctrl.Full() {
+			return false
+		}
+		e := p.mshr.Allocate(line)
+		e.Targets = append(e.Targets, req)
+		coord := p.cfg.AddrMap.Decode(line)
+		p.ctrl.Push(line, false, p.annot.Approximable(line), coord, e)
+		return true
+	}
+	// Store transaction: write-back L2 with write-allocate.
+	if p.l2.Read(line, nil) {
+		for _, s := range req.Stores {
+			p.l2.MergeWord(s.Addr, s.Val, s.N, true)
+		}
+		return true
+	}
+	if e := p.mshr.Lookup(line); e != nil {
+		e.Stores = append(e.Stores, req.Stores...)
+		e.HasStore = true
+		return true
+	}
+	if p.mshr.Full() || p.ctrl.Full() {
+		return false
+	}
+	e := p.mshr.Allocate(line)
+	e.Stores = append(e.Stores, req.Stores...)
+	e.HasStore = true
+	coord := p.cfg.AddrMap.Decode(line)
+	// The fill-for-write is a DRAM read, but never approximable: dropping it
+	// would lose the exactness guarantee for stores.
+	p.ctrl.Push(line, false, false, coord, e)
+	return true
+}
+
+// idle reports whether no request, reply, or write-back is in flight.
+func (p *partition) idle() bool {
+	return p.mshr.Len() == 0 && p.ctrl.Pending() == 0 &&
+		len(p.wbQueue) == 0 && len(p.done) == 0 && len(p.hits) == 0 &&
+		len(p.outReplies) == 0
+}
+
+// flush writes every dirty L2 line back to the image; used at end of run so
+// Output sees the complete result.
+func (p *partition) flush() {
+	p.l2.DirtyLines(func(addr uint64, data []byte) {
+		p.im.WriteLine(addr, data)
+	})
+}
+
+// drainStats folds in-flight DRAM activation accounting into the statistics.
+func (p *partition) drainStats() { p.dchan.Drain() }

@@ -1,0 +1,346 @@
+// Package stats collects the simulation metrics the paper reports: row
+// activations, row-buffer locality (RBL) histograms, DRAM bandwidth
+// utilization, IPC inputs, and AMS coverage.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RBLHist is a histogram of row activations keyed by the number of requests
+// the activation served before the row was closed (its RBL). Index 0 is
+// unused; RBLs above MaxTrackedRBL are accumulated in the last bucket.
+const MaxTrackedRBL = 64
+
+// Mem aggregates DRAM-side statistics for one memory controller or,
+// after Merge, for the whole memory system.
+type Mem struct {
+	// Activations is the total number of row activations (ACT commands).
+	Activations uint64
+	// Reads and Writes are column accesses issued to DRAM banks.
+	Reads, Writes uint64
+	// ReadReqs and WriteReqs are requests that arrived at the pending queue.
+	// ReadReqs includes requests later dropped by AMS.
+	ReadReqs, WriteReqs uint64
+	// Dropped is the number of read requests dropped by AMS.
+	Dropped uint64
+	// DataBusBusy counts memory cycles the data bus transferred data; Cycles
+	// counts total memory cycles. BWUTIL = DataBusBusy / Cycles.
+	DataBusBusy uint64
+	Cycles      uint64
+	// NumChannels counts how many per-channel Mems were merged into this one
+	// (0 means a single channel): BWUtil normalizes by it.
+	NumChannels int
+	// RBL[i] counts row activations that served exactly i requests
+	// (i clamped to MaxTrackedRBL).
+	RBL [MaxTrackedRBL + 1]uint64
+	// ReadsPerRBL[i] counts column *read* accesses served by activations of
+	// RBL i; used for the Fig. 6 cumulative curves.
+	ReadsPerRBL [MaxTrackedRBL + 1]uint64
+	// ReadOnlyActs counts activations that served only global reads.
+	ReadOnlyActs uint64
+	// Refreshes counts all-bank refresh windows (0 unless refresh enabled).
+	Refreshes uint64
+	// QueueOccSum accumulates the pending-queue occupancy each memory cycle;
+	// QueueOccSum/Cycles is the mean occupancy.
+	QueueOccSum uint64
+	// DelaySum and ThRBLSum accumulate the in-force DMS delay and AMS
+	// threshold each memory cycle, for time-weighted averages of the dynamic
+	// schemes' settled values.
+	DelaySum uint64
+	ThRBLSum uint64
+}
+
+// RecordActivationClose records that a row activation served n requests, r of
+// which were reads; readOnly reports whether all of them were global reads.
+func (m *Mem) RecordActivationClose(n, r int, readOnly bool) {
+	if n <= 0 {
+		return
+	}
+	i := n
+	if i > MaxTrackedRBL {
+		i = MaxTrackedRBL
+	}
+	m.RBL[i]++
+	ri := i
+	m.ReadsPerRBL[ri] += uint64(r)
+	if readOnly {
+		m.ReadOnlyActs++
+	}
+}
+
+// AvgRBL returns total serviced requests divided by total activations
+// (the paper's Avg-RBL). It returns 0 when there were no activations.
+func (m *Mem) AvgRBL() float64 {
+	if m.Activations == 0 {
+		return 0
+	}
+	return float64(m.Reads+m.Writes) / float64(m.Activations)
+}
+
+// BWUtil returns the fraction of memory cycles the data bus was busy,
+// averaged over the merged channels.
+func (m *Mem) BWUtil() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	ch := m.NumChannels
+	if ch < 1 {
+		ch = 1
+	}
+	return float64(m.DataBusBusy) / float64(m.Cycles*uint64(ch))
+}
+
+// MeanDelay returns the time-weighted average DMS delay across the merged
+// channels, in memory cycles.
+func (m *Mem) MeanDelay() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	ch := m.NumChannels
+	if ch < 1 {
+		ch = 1
+	}
+	return float64(m.DelaySum) / float64(m.Cycles*uint64(ch))
+}
+
+// MeanThRBL returns the time-weighted average AMS threshold across the
+// merged channels.
+func (m *Mem) MeanThRBL() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	ch := m.NumChannels
+	if ch < 1 {
+		ch = 1
+	}
+	return float64(m.ThRBLSum) / float64(m.Cycles*uint64(ch))
+}
+
+// Coverage returns the fraction of arrived global read requests that were
+// dropped by AMS (the paper's prediction coverage).
+func (m *Mem) Coverage() float64 {
+	if m.ReadReqs == 0 {
+		return 0
+	}
+	return float64(m.Dropped) / float64(m.ReadReqs)
+}
+
+// LowRBLReqFrac returns the fraction of requests served by activations whose
+// RBL lies in [lo, hi]; this is the paper's "thrashing level" when called
+// with (1, 8).
+func (m *Mem) LowRBLReqFrac(lo, hi int) float64 {
+	var in, total uint64
+	for i := 1; i <= MaxTrackedRBL; i++ {
+		n := m.RBL[i] * uint64(i)
+		total += n
+		if i >= lo && i <= hi {
+			in += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(in) / float64(total)
+}
+
+// Merge adds o into m.
+func (m *Mem) Merge(o *Mem) {
+	m.Activations += o.Activations
+	m.Reads += o.Reads
+	m.Writes += o.Writes
+	m.ReadReqs += o.ReadReqs
+	m.WriteReqs += o.WriteReqs
+	m.Dropped += o.Dropped
+	m.DataBusBusy += o.DataBusBusy
+	if o.Cycles > m.Cycles {
+		m.Cycles = o.Cycles
+	}
+	if o.NumChannels > 1 {
+		m.NumChannels += o.NumChannels
+	} else {
+		m.NumChannels++
+	}
+	for i := range m.RBL {
+		m.RBL[i] += o.RBL[i]
+		m.ReadsPerRBL[i] += o.ReadsPerRBL[i]
+	}
+	m.ReadOnlyActs += o.ReadOnlyActs
+	m.Refreshes += o.Refreshes
+	m.QueueOccSum += o.QueueOccSum
+	m.DelaySum += o.DelaySum
+	m.ThRBLSum += o.ThRBLSum
+}
+
+// RBLShare returns the fraction of activations whose RBL lies in [lo, hi].
+func (m *Mem) RBLShare(lo, hi int) float64 {
+	var in, total uint64
+	for i := 1; i <= MaxTrackedRBL; i++ {
+		total += m.RBL[i]
+		if i >= lo && i <= hi {
+			in += m.RBL[i]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(in) / float64(total)
+}
+
+// Run aggregates the end-to-end metrics for one simulation run.
+type Run struct {
+	App          string
+	Scheme       string
+	CoreCycles   uint64
+	Instructions uint64
+	Mem          Mem
+	// RowEnergy and MemEnergy are in nanojoules, filled by the energy model.
+	RowEnergy float64
+	MemEnergy float64
+	// AppError is the mean relative output error versus the golden run
+	// (0 when no approximation was applied).
+	AppError float64
+	// FinalDelay and FinalThRBL record the last settled Dyn-DMS delay and
+	// Dyn-AMS threshold (static values for static schemes).
+	FinalDelay int
+	FinalThRBL int
+	L2Accesses uint64
+	L2Misses   uint64
+	L1Accesses uint64
+	L1Misses   uint64
+}
+
+// IPC returns instructions per core cycle.
+func (r *Run) IPC() float64 {
+	if r.CoreCycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.CoreCycles)
+}
+
+// String renders the canonical stat block printed by cmd/lazysim.
+func (r *Run) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app=%s scheme=%s\n", r.App, r.Scheme)
+	fmt.Fprintf(&b, "  cycles=%d insts=%d ipc=%.4f\n", r.CoreCycles, r.Instructions, r.IPC())
+	fmt.Fprintf(&b, "  activations=%d reads=%d writes=%d avg-rbl=%.3f\n",
+		r.Mem.Activations, r.Mem.Reads, r.Mem.Writes, r.Mem.AvgRBL())
+	ch := r.Mem.NumChannels
+	if ch < 1 {
+		ch = 1
+	}
+	occ := 0.0
+	if r.Mem.Cycles > 0 {
+		occ = float64(r.Mem.QueueOccSum) / float64(r.Mem.Cycles*uint64(ch))
+	}
+	fmt.Fprintf(&b, "  bwutil=%.3f coverage=%.4f dropped=%d queue-occ=%.1f\n",
+		r.Mem.BWUtil(), r.Mem.Coverage(), r.Mem.Dropped, occ)
+	fmt.Fprintf(&b, "  row-energy=%.1f nJ mem-energy=%.1f nJ app-error=%.4f\n",
+		r.RowEnergy, r.MemEnergy, r.AppError)
+	fmt.Fprintf(&b, "  final-delay=%d final-thrbl=%d mean-delay=%.0f mean-thrbl=%.1f\n",
+		r.FinalDelay, r.FinalThRBL, r.Mem.MeanDelay(), r.Mem.MeanThRBL())
+	fmt.Fprintf(&b, "  l1: %d/%d miss  l2: %d/%d miss\n",
+		r.L1Misses, r.L1Accesses, r.L2Misses, r.L2Accesses)
+	return b.String()
+}
+
+// CumulativeRBLCurve returns the Fig. 6 style curve for read requests: points
+// (request share, activation share) accumulated over RBL buckets in
+// increasing RBL order. Only read-only activations participate, matching the
+// paper's "rows opened to serve only global read requests".
+func (m *Mem) CumulativeRBLCurve() []CurvePoint {
+	var totReq, totAct uint64
+	for i := 1; i <= MaxTrackedRBL; i++ {
+		totReq += m.ReadsPerRBL[i]
+		totAct += m.RBL[i]
+	}
+	if totReq == 0 || totAct == 0 {
+		return nil
+	}
+	var pts []CurvePoint
+	var curReq, curAct uint64
+	for i := 1; i <= MaxTrackedRBL; i++ {
+		if m.RBL[i] == 0 {
+			continue
+		}
+		curReq += m.ReadsPerRBL[i]
+		curAct += m.RBL[i]
+		pts = append(pts, CurvePoint{
+			RBL:      i,
+			ReqShare: float64(curReq) / float64(totReq),
+			ActShare: float64(curAct) / float64(totAct),
+		})
+	}
+	return pts
+}
+
+// CurvePoint is one point of a cumulative RBL curve.
+type CurvePoint struct {
+	RBL      int
+	ReqShare float64
+	ActShare float64
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values.
+func GeoMean(xs []float64) float64 {
+	prod, n := 1.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			prod *= x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired samples.
+// It returns 0 when either series has no variance or the lengths differ.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,196 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lazydram/internal/stats"
+)
+
+func TestAvgRBL(t *testing.T) {
+	m := &stats.Mem{Reads: 30, Writes: 10, Activations: 8}
+	if got := m.AvgRBL(); got != 5 {
+		t.Fatalf("AvgRBL = %v, want 5", got)
+	}
+	if (&stats.Mem{}).AvgRBL() != 0 {
+		t.Fatal("AvgRBL of empty stats must be 0")
+	}
+}
+
+func TestRecordActivationCloseClampsToMax(t *testing.T) {
+	m := &stats.Mem{}
+	m.RecordActivationClose(stats.MaxTrackedRBL+50, 10, true)
+	if m.RBL[stats.MaxTrackedRBL] != 1 {
+		t.Fatal("oversized RBL not clamped into the last bucket")
+	}
+	m.RecordActivationClose(0, 0, true)
+	for i, v := range m.RBL {
+		if i != stats.MaxTrackedRBL && v != 0 {
+			t.Fatal("zero-request activation recorded")
+		}
+	}
+}
+
+func TestRBLShare(t *testing.T) {
+	m := &stats.Mem{}
+	m.RecordActivationClose(1, 1, true)
+	m.RecordActivationClose(1, 1, true)
+	m.RecordActivationClose(4, 4, true)
+	m.RecordActivationClose(16, 16, true)
+	if got := m.RBLShare(1, 1); got != 0.5 {
+		t.Fatalf("RBLShare(1,1) = %v, want 0.5", got)
+	}
+	if got := m.RBLShare(1, 8); got != 0.75 {
+		t.Fatalf("RBLShare(1,8) = %v, want 0.75", got)
+	}
+}
+
+func TestLowRBLReqFrac(t *testing.T) {
+	m := &stats.Mem{}
+	m.RecordActivationClose(2, 2, true)   // 2 requests in a low-RBL row
+	m.RecordActivationClose(18, 18, true) // 18 requests in a high-RBL row
+	if got := m.LowRBLReqFrac(1, 8); got != 0.1 {
+		t.Fatalf("LowRBLReqFrac = %v, want 0.1", got)
+	}
+}
+
+func TestBWUtilNormalizesByChannels(t *testing.T) {
+	a := &stats.Mem{DataBusBusy: 50, Cycles: 100}
+	b := &stats.Mem{DataBusBusy: 100, Cycles: 100}
+	if a.BWUtil() != 0.5 {
+		t.Fatalf("single channel BWUtil = %v", a.BWUtil())
+	}
+	var merged stats.Mem
+	merged.Merge(a)
+	merged.Merge(b)
+	if got := merged.BWUtil(); got != 0.75 {
+		t.Fatalf("merged BWUtil = %v, want 0.75", got)
+	}
+}
+
+func TestMergeAdds(t *testing.T) {
+	a := &stats.Mem{Activations: 1, Reads: 2, Writes: 3, ReadReqs: 4, Dropped: 1}
+	b := &stats.Mem{Activations: 10, Reads: 20, Writes: 30, ReadReqs: 40, Dropped: 2}
+	var m stats.Mem
+	m.Merge(a)
+	m.Merge(b)
+	if m.Activations != 11 || m.Reads != 22 || m.Writes != 33 || m.ReadReqs != 44 || m.Dropped != 3 {
+		t.Fatalf("merge sums wrong: %+v", m)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	m := &stats.Mem{ReadReqs: 200, Dropped: 20}
+	if got := m.Coverage(); got != 0.1 {
+		t.Fatalf("Coverage = %v, want 0.1", got)
+	}
+}
+
+func TestCumulativeRBLCurveIsMonotonic(t *testing.T) {
+	m := &stats.Mem{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(30)
+		m.RecordActivationClose(n, n, true)
+	}
+	pts := m.CumulativeRBLCurve()
+	if len(pts) == 0 {
+		t.Fatal("no curve points")
+	}
+	prevReq, prevAct := 0.0, 0.0
+	for _, p := range pts {
+		if p.ReqShare < prevReq || p.ActShare < prevAct {
+			t.Fatalf("curve not monotonic at RBL %d", p.RBL)
+		}
+		if p.ActShare < p.ReqShare-1e-9 {
+			t.Fatalf("activation share %v below request share %v at RBL %d: low-RBL rows must contribute disproportionately many activations",
+				p.ActShare, p.ReqShare, p.RBL)
+		}
+		prevReq, prevAct = p.ReqShare, p.ActShare
+	}
+	last := pts[len(pts)-1]
+	if math.Abs(last.ReqShare-1) > 1e-9 || math.Abs(last.ActShare-1) > 1e-9 {
+		t.Fatalf("curve must end at (1,1), got (%v,%v)", last.ReqShare, last.ActShare)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	r := &stats.Run{Instructions: 500, CoreCycles: 250}
+	if r.IPC() != 2 {
+		t.Fatalf("IPC = %v, want 2", r.IPC())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := stats.GeoMean([]float64{2, 8}); got != 4 {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+	if stats.GeoMean(nil) != 0 {
+		t.Fatal("GeoMean of empty must be 0")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if stats.Mean(xs) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if stats.Median(xs) != 2 {
+		t.Fatal("Median wrong")
+	}
+	if stats.Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even-length Median wrong")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := stats.Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := stats.Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if stats.Pearson([]float64{1, 1}, []float64{2, 3}) != 0 {
+		t.Fatal("no-variance input must return 0")
+	}
+	if stats.Pearson([]float64{1}, []float64{2}) != 0 {
+		t.Fatal("short input must return 0")
+	}
+}
+
+// Property: merging two stat sets preserves the weighted request total.
+func TestMergePreservesWeightedRBL(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := uint64(0)
+		var a, b, m stats.Mem
+		for i := 0; i < 50; i++ {
+			n := 1 + rng.Intn(40)
+			total += uint64(n)
+			if i%2 == 0 {
+				a.RecordActivationClose(n, n, true)
+			} else {
+				b.RecordActivationClose(n, n, false)
+			}
+		}
+		m.Merge(&a)
+		m.Merge(&b)
+		var weighted uint64
+		for i := 1; i <= stats.MaxTrackedRBL; i++ {
+			// Clamped bucket can distort the weighting only above the cap.
+			weighted += uint64(i) * m.RBL[i]
+		}
+		return weighted == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package trafgen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"lazydram/internal/dram"
+	"lazydram/internal/mc"
+	"lazydram/internal/trafgen"
+)
+
+func drive(t *testing.T, scheme mc.Scheme, gen trafgen.Generator, n int) trafgen.Result {
+	t.Helper()
+	cfg := mc.DefaultConfig()
+	cfg.Scheme = scheme
+	return trafgen.Drive(cfg, dram.DefaultConfig(), gen, n, 1)
+}
+
+func TestStreamHasHighRBL(t *testing.T) {
+	res := drive(t, mc.Baseline, &trafgen.Stream{Banks: 16, Rows: 64, Gap: 4}, 4000)
+	if res.Served != 4000 {
+		t.Fatalf("served %d, want 4000", res.Served)
+	}
+	if rbl := res.Mem.AvgRBL(); rbl < 8 {
+		t.Fatalf("streaming Avg-RBL = %.2f, want near the 16-line row limit", rbl)
+	}
+}
+
+func TestStridedThrashes(t *testing.T) {
+	res := drive(t, mc.Baseline, &trafgen.Strided{Banks: 16, Rows: 256, Gap: 4}, 4000)
+	if rbl := res.Mem.AvgRBL(); rbl > 1.5 {
+		t.Fatalf("strided Avg-RBL = %.2f, want ~1 (one line per row visit)", rbl)
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	res := drive(t, mc.Baseline, &trafgen.Zipf{Banks: 16, Rows: 4096, S: 1.5, Gap: 4}, 6000)
+	// Hot rows give mid RBL; the cold tail keeps plenty of RBL(1) rows.
+	if res.Mem.RBL[1] == 0 {
+		t.Fatal("Zipf traffic should produce single-visit rows")
+	}
+	if res.Mem.RBLShare(9, 64) == 0 {
+		t.Fatal("Zipf traffic should also produce hot high-RBL rows")
+	}
+}
+
+func TestDMSHelpsRevisitingTraffic(t *testing.T) {
+	// Strided traffic that wraps around its row set: the baseline re-opens
+	// each row per lap (one lap = 32 requests x 16 cycles = 512 cycles); a
+	// delay longer than a lap lets the queue batch repeat visits together.
+	gen := func() trafgen.Generator { return &trafgen.Strided{Banks: 4, Rows: 8, Gap: 16} }
+	base := drive(t, mc.Baseline, gen(), 3000)
+	dms := drive(t, mc.Scheme{DMS: mc.Static, StaticDelay: 1024}, gen(), 3000)
+	if dms.Mem.Activations >= base.Mem.Activations {
+		t.Fatalf("DMS activations %d >= baseline %d", dms.Mem.Activations, base.Mem.Activations)
+	}
+}
+
+func TestAMSDropsZipfTail(t *testing.T) {
+	gen := &trafgen.Zipf{Banks: 16, Rows: 8192, S: 1.4, Gap: 4}
+	res := drive(t, mc.StaticAMS, gen, 6000)
+	if res.Dropped == 0 {
+		t.Fatal("AMS dropped nothing from a single-visit-heavy stream")
+	}
+	if cov := float64(res.Dropped) / 6000; cov > 0.102 {
+		t.Fatalf("coverage %.3f exceeds the cap", cov)
+	}
+	base := drive(t, mc.Baseline, &trafgen.Zipf{Banks: 16, Rows: 8192, S: 1.4, Gap: 4}, 6000)
+	if res.Mem.Activations >= base.Mem.Activations {
+		t.Fatalf("AMS activations %d >= baseline %d", res.Mem.Activations, base.Mem.Activations)
+	}
+}
+
+func TestWritesAreNeverDropped(t *testing.T) {
+	gen := &trafgen.Zipf{Banks: 8, Rows: 4096, S: 1.4, Gap: 4, WriteFrac: 0.5}
+	res := drive(t, mc.StaticAMS, gen, 4000)
+	if res.Served+res.Dropped+res.Rejected != 4000 {
+		t.Fatalf("conservation violated: %d+%d+%d != 4000", res.Served, res.Dropped, res.Rejected)
+	}
+	if res.Mem.Writes == 0 {
+		t.Fatal("no writes served")
+	}
+	// Drops only ever come from the read population.
+	if res.Dropped > res.Mem.ReadReqs {
+		t.Fatal("more drops than read requests")
+	}
+}
+
+func TestMixedRoundRobins(t *testing.T) {
+	m := &trafgen.Mixed{Gens: []trafgen.Generator{
+		&trafgen.Stream{Banks: 16, Rows: 8, Gap: 2},
+		&trafgen.Strided{Banks: 16, Rows: 256, Gap: 7},
+	}}
+	rng := rand.New(rand.NewSource(1))
+	_, gapA := m.Next(rng)
+	_, gapB := m.Next(rng)
+	_, gapC := m.Next(rng)
+	if gapA != 2 || gapB != 7 || gapC != 2 {
+		t.Fatalf("mixed generator did not alternate: gaps %d %d %d", gapA, gapB, gapC)
+	}
+	res := drive(t, mc.Baseline, m, 2000)
+	if res.Served != 2000 {
+		t.Fatalf("served %d, want 2000", res.Served)
+	}
+}
+
+func TestOpenLoopRejectsWhenSaturated(t *testing.T) {
+	// Gap 0: all requests arrive instantly; the 128-entry queue must reject
+	// most of a large burst rather than deadlock.
+	res := drive(t, mc.Baseline, &trafgen.Strided{Banks: 1, Rows: 4096, Gap: 0}, 5000)
+	if res.Rejected == 0 {
+		t.Fatal("zero-gap burst should overflow the queue")
+	}
+	if res.Served+res.Rejected != 5000 {
+		t.Fatalf("conservation violated: %d+%d != 5000", res.Served, res.Rejected)
+	}
+}
+
+func TestDriveDeterminism(t *testing.T) {
+	gen := func() trafgen.Generator { return &trafgen.Zipf{Banks: 16, Rows: 2048, S: 1.3, Gap: 5} }
+	a := drive(t, mc.DynBoth, gen(), 3000)
+	b := drive(t, mc.DynBoth, gen(), 3000)
+	if a.Mem.Activations != b.Mem.Activations || a.Dropped != b.Dropped || a.Cycles != b.Cycles {
+		t.Fatalf("nondeterministic drive: %+v vs %+v", a, b)
+	}
+}
