@@ -16,6 +16,7 @@ import (
 
 	"lazydram/internal/exp"
 	"lazydram/internal/mc"
+	"lazydram/internal/obs"
 	"lazydram/internal/sim"
 	"lazydram/internal/workloads"
 )
@@ -250,4 +251,27 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles), "core-cycles/run")
 }
 
-var _ = workloads.Names // keep the import for documentation linking
+// benchTelemetry measures one full SCP run under Dyn-Both with the given
+// observability options. BenchmarkTelemetryOff against BenchmarkTelemetryOn
+// quantifies the cost of the nil-check hooks (off must stay within 2% of the
+// pre-observability simulator) and of full tracing respectively.
+func benchTelemetry(b *testing.B, o obs.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		k, err := workloads.New("SCP")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Obs = o
+		if _, err := sim.Simulate(k, cfg, mc.DynBoth, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTelemetryOff(b *testing.B) { benchTelemetry(b, obs.Options{}) }
+
+func BenchmarkTelemetryOn(b *testing.B) {
+	benchTelemetry(b, obs.Options{Latency: true, SampleEvery: 1024, TraceCapacity: 1 << 16})
+}

@@ -13,8 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,8 +30,31 @@ func main() {
 		apps = flag.String("apps", "", "comma-separated app subset (default: all)")
 		seed = flag.Int64("seed", 1, "workload input seed")
 		list = flag.Bool("list", false, "list experiment ids and exit")
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, id := range exp.IDs() {

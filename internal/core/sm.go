@@ -21,6 +21,10 @@ type MemReq struct {
 	Load     bool
 	// Stores carries the word writes of a store transaction.
 	Stores []cache.PendingStore
+	// IssuedAt is the core cycle the transaction entered the SM's outbox;
+	// the observability layer uses it to measure end-to-end and
+	// interconnect latency.
+	IssuedAt uint64
 }
 
 // MemReply answers a load MemReq with the line's bytes. Approx marks data
@@ -29,6 +33,9 @@ type MemReply struct {
 	Req    *MemReq
 	Data   [cache.LineSize]byte
 	Approx bool
+	// SentAt is the core cycle the reply entered the reply network; used by
+	// the observability layer to measure reply-interconnect latency.
+	SentAt uint64
 }
 
 // Config sizes one SM.
@@ -342,10 +349,10 @@ func (s *SM) lsuTick(now uint64) {
 	if op.nextLine < op.numLines {
 		line := op.lines[op.nextLine]
 		if op.kind == OpLoad {
-			if !s.lsuLoadLine(op, line) {
+			if !s.lsuLoadLine(op, line, now) {
 				return // structural stall; retry next cycle
 			}
-		} else if !s.lsuStoreLine(op, line) {
+		} else if !s.lsuStoreLine(op, line, now) {
 			return
 		}
 		op.nextLine++
@@ -387,7 +394,7 @@ func (s *SM) finishAsync(op *memOp, now uint64) {
 	s.releaseOp(op)
 }
 
-func (s *SM) lsuLoadLine(op *memOp, line uint64) bool {
+func (s *SM) lsuLoadLine(op *memOp, line uint64, now uint64) bool {
 	// Probe hazards before recording the access so a structurally stalled
 	// transaction does not inflate the L1 statistics on every retry.
 	if e := s.mshr.Lookup(line); e != nil {
@@ -414,11 +421,11 @@ func (s *SM) lsuLoadLine(op *memOp, line uint64) bool {
 	e.Targets = append(e.Targets, op)
 	op.outstanding++
 	s.outstanding++
-	s.outbox = append(s.outbox, &MemReq{SM: s.id, LineAddr: line, Load: true})
+	s.outbox = append(s.outbox, &MemReq{SM: s.id, LineAddr: line, Load: true, IssuedAt: now})
 	return true
 }
 
-func (s *SM) lsuStoreLine(op *memOp, line uint64) bool {
+func (s *SM) lsuStoreLine(op *memOp, line uint64, now uint64) bool {
 	if len(s.outbox) >= s.cfg.OutboxDepth {
 		return false
 	}
@@ -436,7 +443,7 @@ func (s *SM) lsuStoreLine(op *memOp, line uint64) bool {
 		s.l1.MergeWord(a, uint64(v), 4, false)
 		stores = append(stores, cache.PendingStore{Addr: a, Val: uint64(v), N: 4})
 	}
-	s.outbox = append(s.outbox, &MemReq{SM: s.id, LineAddr: line, Stores: stores})
+	s.outbox = append(s.outbox, &MemReq{SM: s.id, LineAddr: line, Stores: stores, IssuedAt: now})
 	return true
 }
 

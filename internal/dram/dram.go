@@ -8,7 +8,10 @@
 // statistics side effects.
 package dram
 
-import "lazydram/internal/stats"
+import (
+	"lazydram/internal/obs"
+	"lazydram/internal/stats"
+)
 
 // Timing holds DRAM timing parameters in memory-clock cycles. The named
 // fields follow the paper's Table I (Hynix GDDR5); WL, WR and RTP are not
@@ -108,6 +111,11 @@ type Channel struct {
 	refreshUntil uint64
 
 	stats *stats.Mem
+
+	// trace, when non-nil, records every issued command; chanID labels the
+	// channel in the trace.
+	trace  *obs.CmdTrace
+	chanID int
 }
 
 // NewChannel creates a channel with all banks closed.
@@ -121,6 +129,14 @@ func NewChannel(cfg Config, st *stats.Mem) *Channel {
 		ch.banks[i].readOnly = true
 	}
 	return ch
+}
+
+// SetTrace attaches a command trace ring; every subsequent ACT/PRE/RD/WR and
+// refresh window is recorded under the given channel id. A nil trace
+// disables recording.
+func (c *Channel) SetTrace(t *obs.CmdTrace, channel int) {
+	c.trace = t
+	c.chanID = channel
 }
 
 // bankGroup returns the bank-group index of bank b.
@@ -170,6 +186,7 @@ func (c *Channel) Refreshing(now uint64) bool {
 		c.refreshUntil = now + t.RFC
 		c.nextRefresh = now + t.REFI
 		c.stats.Refreshes++
+		c.trace.Add(obs.CmdREF, c.chanID, -1, NoRow, now)
 	}
 	return now < c.refreshUntil
 }
@@ -205,6 +222,7 @@ func (c *Channel) Activate(b int, row int64, now uint64) {
 	bk.readOnly = true
 	c.nextActAny = now + t.RRD
 	c.stats.Activations++
+	c.trace.Add(obs.CmdACT, c.chanID, b, row, now)
 }
 
 // CanPrecharge reports whether a PRE for bank b may issue at cycle now.
@@ -217,6 +235,7 @@ func (c *Channel) CanPrecharge(b int, now uint64) bool {
 // row-buffer locality of the finished activation.
 func (c *Channel) Precharge(b int, now uint64) {
 	bk := &c.banks[b]
+	c.trace.Add(obs.CmdPRE, c.chanID, b, bk.OpenRow, now)
 	c.closeStats(bk)
 	bk.OpenRow = NoRow
 	if n := now + c.cfg.Timing.RP; n > bk.nextAct {
@@ -248,6 +267,7 @@ func (c *Channel) Read(b int, now uint64) (dataReady uint64) {
 	// Burst occupies the data bus for CCD cycles starting at now+CL.
 	c.stats.DataBusBusy += t.CCD
 	c.stats.Reads++
+	c.trace.Add(obs.CmdRD, c.chanID, b, bk.OpenRow, now)
 	bk.served++
 	bk.servedReads++
 	if n := now + t.RTP; n > bk.nextPre {
@@ -278,6 +298,7 @@ func (c *Channel) Write(b int, now uint64) (done uint64) {
 	t := c.cfg.Timing
 	c.stats.DataBusBusy += t.CCD
 	c.stats.Writes++
+	c.trace.Add(obs.CmdWR, c.chanID, b, bk.OpenRow, now)
 	bk.served++
 	bk.readOnly = false
 	if n := now + t.WL + t.CCD + t.WR; n > bk.nextPre {

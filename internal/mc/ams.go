@@ -1,6 +1,9 @@
 package mc
 
-import "lazydram/internal/stats"
+import (
+	"lazydram/internal/obs"
+	"lazydram/internal/stats"
+)
 
 // amsUnit implements Static-AMS and Dyn-AMS. The unit inspects the oldest
 // pending request each memory cycle; when the request is an approximable
@@ -137,6 +140,7 @@ func (a *amsUnit) finishRowDrop(c *Controller) {
 }
 
 func (c *Controller) dropReq(r *Request, now uint64) {
+	c.tr.Observe(obs.StageVPDrop, now-r.Arrival)
 	c.retire(r, ReqDropped)
 	c.st.Dropped++
 	c.onComplete(r, true, now+c.cfg.VPLatencyCycles)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lazydram/internal/dram"
+	"lazydram/internal/obs"
 	"lazydram/internal/stats"
 )
 
@@ -158,6 +159,7 @@ type Controller struct {
 	dms    *dmsUnit
 	ams    *amsUnit
 	now    uint64
+	tr     *obs.Tracer // nil unless request-lifecycle tracing is enabled
 }
 
 // New creates a controller in front of ch. onComplete must be non-nil;
@@ -189,6 +191,11 @@ func New(cfg Config, ch *dram.Channel, st *stats.Mem, onComplete CompletionFunc,
 	}
 	return c
 }
+
+// SetTracer attaches a request-lifecycle tracer; the controller then records
+// pending-queue wait and DRAM service latency per request. A nil tracer
+// disables the hooks.
+func (c *Controller) SetTracer(t *obs.Tracer) { c.tr = t }
 
 // Full reports whether the pending queue cannot accept another request.
 func (c *Controller) Full() bool { return c.live >= c.cfg.QueueSize }
@@ -400,6 +407,8 @@ func (c *Controller) issueColumn(r *Request, now uint64) {
 	} else {
 		ready = c.ch.Read(b, now)
 	}
+	c.tr.Observe(obs.StageMCQueue, now-r.Arrival)
+	c.tr.Observe(obs.StageDRAM, ready-now)
 	c.retire(r, ReqServed)
 	c.onComplete(r, false, ready)
 }

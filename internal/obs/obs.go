@@ -1,0 +1,203 @@
+// Package obs is the simulator's observability layer: request-lifecycle
+// latency histograms, an interval sampler that turns the dynamic schemes'
+// settling behaviour into plottable time series, and a bounded DRAM command
+// trace with Chrome trace_event and JSONL exporters.
+//
+// Everything is opt-in and nil-safe: a disabled collector hands out nil
+// *Tracer / *Sampler / *CmdTrace pointers whose methods are no-ops behind a
+// single nil check, so the simulation hot loop pays (almost) nothing when
+// observability is off. The repository's BenchmarkTelemetryOff/On pair
+// quantifies the overhead.
+//
+// The package depends only on the standard library and is imported by the
+// model packages (core, mc, dram, sim); it must never import them back.
+package obs
+
+// Stage identifies one segment of a memory request's lifecycle. Stages on
+// the SM side of the clock-domain crossing are measured in core cycles,
+// stages inside the memory partition in memory cycles; StageSummary.Clock
+// records which.
+type Stage uint8
+
+// Lifecycle stages.
+const (
+	// StageIcntReq: SM issue (transaction enters the SM outbox) to memory
+	// partition acceptance — outbox wait + request crossbar + backpressure.
+	// Core cycles.
+	StageIcntReq Stage = iota
+	// StageL2Hit: load transactions served by the partition's L2 slice
+	// (fixed hit latency; the count is the interesting part). Core cycles.
+	StageL2Hit
+	// StageMCQueue: memory-controller enqueue to DRAM column issue — time
+	// spent in the pending queue, including any DMS-imposed aging. Memory
+	// cycles.
+	StageMCQueue
+	// StageDRAM: DRAM column issue to data-burst completion. Memory cycles.
+	StageDRAM
+	// StageVPDrop: memory-controller enqueue to AMS drop for value-predicted
+	// requests. Memory cycles.
+	StageVPDrop
+	// StageIcntReply: partition reply send to SM delivery over the reply
+	// crossbar. Core cycles.
+	StageIcntReply
+	// StageTotal: SM issue to reply delivery at the SM, end to end (L2 hits
+	// and misses alike). Core cycles.
+	StageTotal
+
+	numStages
+)
+
+// stageMeta names each stage and its clock domain for reports.
+var stageMeta = [numStages]struct{ name, clock string }{
+	StageIcntReq:   {"icnt.req", "core"},
+	StageL2Hit:     {"l2.hit", "core"},
+	StageMCQueue:   {"mc.queue", "mem"},
+	StageDRAM:      {"dram.service", "mem"},
+	StageVPDrop:    {"mc.vpdrop", "mem"},
+	StageIcntReply: {"icnt.reply", "core"},
+	StageTotal:     {"total", "core"},
+}
+
+// String returns the stage's report name.
+func (s Stage) String() string { return stageMeta[s].name }
+
+// Clock returns "core" or "mem", the cycle domain the stage is measured in.
+func (s Stage) Clock() string { return stageMeta[s].clock }
+
+// Tracer aggregates per-stage latency histograms. The zero value is ready to
+// use; a nil *Tracer discards every observation.
+type Tracer struct {
+	hists [numStages]Histogram
+}
+
+// Observe records one latency sample for the stage. It is nil-safe and
+// allocation-free.
+func (t *Tracer) Observe(s Stage, cycles uint64) {
+	if t == nil {
+		return
+	}
+	t.hists[s].Observe(cycles)
+}
+
+// Hist returns the histogram backing the stage (nil for a nil tracer).
+func (t *Tracer) Hist(s Stage) *Histogram {
+	if t == nil {
+		return nil
+	}
+	return &t.hists[s]
+}
+
+// Stages summarizes every stage that recorded at least one sample.
+func (t *Tracer) Stages() []StageSummary {
+	if t == nil {
+		return nil
+	}
+	var out []StageSummary
+	for s := Stage(0); s < numStages; s++ {
+		h := &t.hists[s]
+		if h.Count() == 0 {
+			continue
+		}
+		out = append(out, StageSummary{
+			Stage: s.String(),
+			Clock: s.Clock(),
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			P50:   h.Percentile(50),
+			P90:   h.Percentile(90),
+			P99:   h.Percentile(99),
+			Max:   h.Max(),
+		})
+	}
+	return out
+}
+
+// StageSummary is the serializable digest of one stage's latency histogram.
+type StageSummary struct {
+	Stage string  `json:"stage"`
+	Clock string  `json:"clock"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// Options selects which observability features a run collects. The zero
+// value disables everything.
+type Options struct {
+	// Latency enables the request-lifecycle stage histograms.
+	Latency bool
+	// SampleEvery enables the time-series sampler with the given interval in
+	// memory cycles (0 disables).
+	SampleEvery uint64
+	// TraceCapacity bounds the DRAM command ring buffer (0 disables the
+	// trace). When the buffer wraps, the oldest commands are overwritten.
+	TraceCapacity int
+}
+
+// Enabled reports whether any feature is on.
+func (o Options) Enabled() bool {
+	return o.Latency || o.SampleEvery > 0 || o.TraceCapacity > 0
+}
+
+// Collector owns the per-run observability state. A nil *Collector (the
+// disabled case) is valid everywhere.
+type Collector struct {
+	Tracer  *Tracer
+	Sampler *Sampler
+	Trace   *CmdTrace
+}
+
+// NewCollector builds a collector for the options, or nil when everything is
+// disabled.
+func NewCollector(o Options) *Collector {
+	if !o.Enabled() {
+		return nil
+	}
+	c := &Collector{}
+	if o.Latency {
+		c.Tracer = &Tracer{}
+	}
+	if o.SampleEvery > 0 {
+		c.Sampler = NewSampler(o.SampleEvery)
+	}
+	if o.TraceCapacity > 0 {
+		c.Trace = NewCmdTrace(o.TraceCapacity)
+	}
+	return c
+}
+
+// Telemetry snapshots the collector into its serializable form (nil for a
+// nil collector).
+func (c *Collector) Telemetry() *Telemetry {
+	if c == nil {
+		return nil
+	}
+	t := &Telemetry{Stages: c.Tracer.Stages()}
+	if c.Sampler != nil {
+		t.SampleEvery = c.Sampler.Every()
+		t.Series = c.Sampler.Samples()
+	}
+	if c.Trace != nil {
+		t.TraceCmds = c.Trace.Total()
+		t.TraceDropped = c.Trace.Dropped()
+	}
+	return t
+}
+
+// Telemetry is the machine-readable digest of one run's observability data,
+// attached to sim.Result and emitted by lazysim -json.
+type Telemetry struct {
+	// Stages holds per-lifecycle-stage latency percentiles.
+	Stages []StageSummary `json:"stages,omitempty"`
+	// SampleEvery is the sampling interval in memory cycles; Series the
+	// collected time series.
+	SampleEvery uint64   `json:"sample_every,omitempty"`
+	Series      []Sample `json:"series,omitempty"`
+	// TraceCmds counts DRAM commands offered to the trace ring;
+	// TraceDropped how many were overwritten after the ring wrapped.
+	TraceCmds    uint64 `json:"trace_cmds,omitempty"`
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+}

@@ -16,6 +16,7 @@ import (
 	"lazydram/internal/icnt"
 	"lazydram/internal/mc"
 	"lazydram/internal/memimage"
+	"lazydram/internal/obs"
 )
 
 // Kernel is a GPGPU application the simulator can run. Implementations live
@@ -86,6 +87,11 @@ type Config struct {
 
 	// MaxCoreCycles aborts runaway simulations.
 	MaxCoreCycles uint64
+
+	// Obs selects the observability features for the run (lifecycle tracing,
+	// time-series sampling, DRAM command trace). The zero value disables
+	// everything and leaves the hot loop untouched.
+	Obs obs.Options
 }
 
 // DefaultConfig reproduces Table I.

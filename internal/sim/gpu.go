@@ -10,6 +10,7 @@ import (
 	"lazydram/internal/icnt"
 	"lazydram/internal/mc"
 	"lazydram/internal/memimage"
+	"lazydram/internal/obs"
 	"lazydram/internal/stats"
 )
 
@@ -24,6 +25,10 @@ type Result struct {
 	// activity across partitions.
 	VPPredictions uint64
 	VPFallbacks   uint64
+	// Telemetry holds the run's observability digest (nil when Config.Obs is
+	// disabled); Trace the raw DRAM command ring for file export.
+	Telemetry *obs.Telemetry
+	Trace     *obs.CmdTrace
 }
 
 // GPU is one fully wired simulated GPU executing one kernel. Partitions,
@@ -48,6 +53,22 @@ type GPU struct {
 	insts      uint64
 	l1Accesses uint64
 	l1Misses   uint64
+
+	// Observability state; col is nil (and tr/sampler with it) when disabled,
+	// so the hot loop pays a single nil check per hook.
+	col     *obs.Collector
+	tr      *obs.Tracer
+	sampler *obs.Sampler
+	prev    sampleState
+}
+
+// sampleState remembers the cumulative counters at the previous time-series
+// sample so windows report deltas.
+type sampleState struct {
+	insts uint64
+	core  uint64
+	busy  uint64
+	acts  uint64
 }
 
 // NewGPU builds a GPU for the kernel under the given scheme; Setup has
@@ -58,9 +79,14 @@ func NewGPU(cfg Config, scheme mc.Scheme, kern Kernel, im *memimage.Image) *GPU 
 	if scheme.AMS == mc.Off {
 		annot = nil // nothing is approximable without AMS
 	}
+	g.col = obs.NewCollector(cfg.Obs)
+	if g.col != nil {
+		g.tr = g.col.Tracer
+		g.sampler = g.col.Sampler
+	}
 	nParts := cfg.AddrMap.NumChannels
 	for p := 0; p < nParts; p++ {
-		g.partitions = append(g.partitions, newPartition(p, &g.cfg, im, annot, scheme))
+		g.partitions = append(g.partitions, newPartition(p, &g.cfg, im, annot, scheme, g.col))
 	}
 	g.reqNet = icnt.New(g.cfg.icntConfig(nParts))
 	g.replyNet = icnt.New(g.cfg.icntConfig(cfg.NumSMs))
@@ -125,6 +151,9 @@ func (g *GPU) runPhase() error {
 				p.memTick(g.memCycle)
 			}
 			g.memCycle++
+			if g.sampler != nil {
+				g.sampler.Tick(g.memCycle, g.probeSample)
+			}
 		}
 		g.coreCycle++
 		if g.coreCycle%512 == 0 && g.done() {
@@ -145,6 +174,7 @@ func (g *GPU) coreTick() {
 	for _, p := range g.partitions {
 		p.coreTick(now)
 		if r := p.popReply(); r != nil {
+			r.SentAt = now
 			if !g.replyNet.Send(p.id, r.Req.SM, r, now) {
 				p.unpopReply(r)
 			}
@@ -153,7 +183,10 @@ func (g *GPU) coreTick() {
 	// 2. Reply network delivers to SMs.
 	for s, sm := range g.sms {
 		if pkt, ok := g.replyNet.Recv(s, now); ok {
-			sm.HandleReply(pkt.Payload.(*core.MemReply), now)
+			rep := pkt.Payload.(*core.MemReply)
+			g.tr.Observe(obs.StageIcntReply, now-rep.SentAt)
+			g.tr.Observe(obs.StageTotal, now-rep.Req.IssuedAt)
+			sm.HandleReply(rep, now)
 		}
 	}
 	// 3. SMs execute; their sends are routed by address.
@@ -166,8 +199,10 @@ func (g *GPU) coreTick() {
 		if !ok {
 			continue
 		}
-		if p.acceptReq(pkt.Payload.(*core.MemReq), now) {
+		req := pkt.Payload.(*core.MemReq)
+		if p.acceptReq(req, now) {
 			g.reqNet.Recv(pi, now)
+			g.tr.Observe(obs.StageIcntReq, now-req.IssuedAt)
 		}
 	}
 }
@@ -177,6 +212,46 @@ func (g *GPU) sendReq(now uint64) func(*core.MemReq) bool {
 		dst := g.cfg.AddrMap.Decode(r.LineAddr).Channel
 		return g.reqNet.Send(r.SM, dst, r, now)
 	}
+}
+
+// probeSample snapshots the time-series quantities for one sampling window
+// of `window` memory cycles. Rate-like fields are deltas over the window;
+// queue occupancy, DMS delay, and AMS Th_RBL are instantaneous.
+func (g *GPU) probeSample(window uint64) obs.Sample {
+	insts := g.insts
+	for _, s := range g.sms {
+		insts += s.Insts()
+	}
+	var busy, acts, occ uint64
+	delay, th := 0, 0
+	for _, p := range g.partitions {
+		busy += p.st.DataBusBusy
+		acts += p.st.Activations
+		occ += uint64(p.ctrl.Pending())
+		if d := p.ctrl.Delay(); d > delay {
+			delay = d
+		}
+		if t := p.ctrl.ThRBL(); t > th {
+			th = t
+		}
+	}
+	nch := uint64(len(g.partitions))
+	s := obs.Sample{
+		MemCycle:    g.memCycle,
+		CoreCycle:   g.coreCycle,
+		QueueOcc:    float64(occ) / float64(nch),
+		Activations: acts - g.prev.acts,
+		Delay:       delay,
+		ThRBL:       th,
+	}
+	if dc := g.coreCycle - g.prev.core; dc > 0 {
+		s.IPC = float64(insts-g.prev.insts) / float64(dc)
+	}
+	if window > 0 {
+		s.BWUtil = float64(busy-g.prev.busy) / float64(window*nch)
+	}
+	g.prev = sampleState{insts: insts, core: g.coreCycle, busy: busy, acts: acts}
+	return s
 }
 
 func (g *GPU) done() bool {
@@ -234,6 +309,11 @@ func (g *GPU) collect() *Result {
 	r.MemEnergy = prof.MemEnergyNJ(&r.Mem, g.memCycle, g.cfg.MemClockMHz*1e6, len(g.partitions))
 	res.Output = g.kern.Output(g.im)
 	res.Image = g.im
+	if g.col != nil {
+		g.sampler.Flush(g.memCycle, g.probeSample)
+		res.Telemetry = g.col.Telemetry()
+		res.Trace = g.col.Trace
+	}
 	return res
 }
 

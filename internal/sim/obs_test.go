@@ -1,0 +1,129 @@
+package sim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"lazydram/internal/mc"
+	"lazydram/internal/obs"
+	"lazydram/internal/sim"
+)
+
+// TestTelemetryEndToEnd runs a real workload with the full observability
+// stack enabled and checks the digest is internally consistent: every
+// lifecycle stage that must fire did, the time series covers the whole run at
+// the configured interval, and the command trace replays real DRAM activity.
+func TestTelemetryEndToEnd(t *testing.T) {
+	const every = 256
+	res := simulate(t, "SCP", mc.DynBoth, func(cfg *sim.Config) {
+		cfg.Obs = obs.Options{Latency: true, SampleEvery: every, TraceCapacity: 1 << 14}
+	})
+	tel := res.Telemetry
+	if tel == nil {
+		t.Fatal("Telemetry nil with Obs enabled")
+	}
+
+	stages := make(map[string]obs.StageSummary, len(tel.Stages))
+	for _, s := range tel.Stages {
+		stages[s.Stage] = s
+	}
+	for _, name := range []string{"icnt.req", "mc.queue", "dram.service", "icnt.reply", "total"} {
+		s, ok := stages[name]
+		if !ok || s.Count == 0 {
+			t.Errorf("stage %s missing or empty", name)
+			continue
+		}
+		if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max {
+			t.Errorf("stage %s percentiles not monotone: p50=%d p90=%d p99=%d max=%d",
+				name, s.P50, s.P90, s.P99, s.Max)
+		}
+	}
+	// Every L2 miss crosses the MC queue exactly once (reads; writes add
+	// more), and every retired read is serviced by DRAM or dropped.
+	if q, d := stages["mc.queue"].Count, stages["dram.service"].Count; q < d {
+		t.Errorf("mc.queue count %d < dram.service count %d", q, d)
+	}
+	// The total stage spans the whole round trip, so its p50 must dominate
+	// every other core-clock stage's p50.
+	if tot := stages["total"]; tot.P50 < stages["icnt.reply"].P50 {
+		t.Errorf("total p50 %d < icnt.reply p50 %d", tot.P50, stages["icnt.reply"].P50)
+	}
+
+	// Time series: one sample per full interval plus one for the partial tail.
+	want := (res.Run.Mem.Cycles + every - 1) / every
+	if got := uint64(len(tel.Series)); got != want {
+		t.Errorf("sample count %d, want ceil(%d/%d) = %d",
+			got, res.Run.Mem.Cycles, uint64(every), want)
+	}
+	if len(tel.Series) < 2 {
+		t.Fatal("too few samples to check ordering")
+	}
+	for i := 1; i < len(tel.Series); i++ {
+		if tel.Series[i].MemCycle <= tel.Series[i-1].MemCycle {
+			t.Fatalf("series not strictly increasing at %d", i)
+		}
+	}
+	if last := tel.Series[len(tel.Series)-1]; last.MemCycle != res.Run.Mem.Cycles {
+		t.Errorf("last sample at mem cycle %d, want run end %d", last.MemCycle, res.Run.Mem.Cycles)
+	}
+
+	// Command trace: total issued commands must at least cover the stat
+	// block's activations + reads + writes (plus precharges).
+	if res.Trace == nil {
+		t.Fatal("Trace nil with TraceCapacity set")
+	}
+	minCmds := res.Run.Mem.Activations + res.Run.Mem.Reads + res.Run.Mem.Writes
+	if res.Trace.Total() < minCmds {
+		t.Errorf("trace total %d < activations+reads+writes %d", res.Trace.Total(), minCmds)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("chrome trace has no events")
+	}
+
+	// The merged run stats must also satisfy their own invariants.
+	if err := res.Run.Mem.Validate(); err != nil {
+		t.Errorf("run stats failed validation: %v", err)
+	}
+
+	// The whole telemetry digest must round-trip through JSON.
+	if _, err := json.Marshal(tel); err != nil {
+		t.Fatalf("telemetry not serializable: %v", err)
+	}
+}
+
+// TestTelemetryDisabledIsFree checks the zero-value Obs config produces no
+// telemetry and an identical simulation result.
+func TestTelemetryDisabledIsFree(t *testing.T) {
+	off := simulate(t, "SCP", mc.DynBoth)
+	if off.Telemetry != nil || off.Trace != nil {
+		t.Fatal("telemetry produced with Obs disabled")
+	}
+	on := simulate(t, "SCP", mc.DynBoth, func(cfg *sim.Config) {
+		cfg.Obs = obs.Options{Latency: true, SampleEvery: 512, TraceCapacity: 1 << 12}
+	})
+	// Observability must never perturb the simulation itself.
+	if off.Run.CoreCycles != on.Run.CoreCycles || off.Run.Mem.Activations != on.Run.Mem.Activations {
+		t.Errorf("telemetry changed the run: cycles %d vs %d, acts %d vs %d",
+			off.Run.CoreCycles, on.Run.CoreCycles,
+			off.Run.Mem.Activations, on.Run.Mem.Activations)
+	}
+	if len(off.Output) != len(on.Output) {
+		t.Fatalf("output lengths differ")
+	}
+	for i := range off.Output {
+		if off.Output[i] != on.Output[i] {
+			t.Fatalf("output diverged at %d", i)
+		}
+	}
+}

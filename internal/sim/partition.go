@@ -9,6 +9,7 @@ import (
 	"lazydram/internal/dram"
 	"lazydram/internal/mc"
 	"lazydram/internal/memimage"
+	"lazydram/internal/obs"
 	"lazydram/internal/stats"
 )
 
@@ -64,6 +65,7 @@ type partition struct {
 	vp    approx.Predictor
 	nlVP  *approx.VPUnit // non-nil when VPKind is "nearest"
 	st    stats.Mem
+	tr    *obs.Tracer // nil unless lifecycle tracing is enabled
 
 	wbQueue    []wbEntry
 	done       doneHeap
@@ -71,11 +73,15 @@ type partition struct {
 	outReplies []*core.MemReply
 }
 
-func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotations, scheme mc.Scheme) *partition {
+func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotations, scheme mc.Scheme, col *obs.Collector) *partition {
 	p := &partition{id: id, cfg: cfg, im: im, annot: annot}
 	p.l2 = cache.New(cfg.L2)
 	p.mshr = cache.NewMSHR(cfg.L2MSHREntries, cfg.L2MSHRTargets)
 	p.dchan = dram.NewChannel(cfg.DRAM, &p.st)
+	if col != nil {
+		p.tr = col.Tracer
+		p.dchan.SetTrace(col.Trace, id)
+	}
 	switch cfg.VPKind {
 	case "zero":
 		p.vp = &approx.ZeroPredictor{}
@@ -88,6 +94,7 @@ func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotat
 	mcCfg := cfg.MC
 	mcCfg.Scheme = scheme
 	p.ctrl = mc.New(mcCfg, p.dchan, &p.st, p.onMCComplete, p.vp.Ready)
+	p.ctrl.SetTracer(p.tr)
 	return p
 }
 
@@ -199,6 +206,7 @@ func (p *partition) acceptReq(req *core.MemReq, now uint64) bool {
 	if req.Load {
 		var data [cache.LineSize]byte
 		if p.l2.Read(line, data[:]) {
+			p.tr.Observe(obs.StageL2Hit, p.cfg.L2HitLatency)
 			rep := &core.MemReply{Req: req}
 			rep.Data = data
 			heap.Push(&p.hits, hitItem{readyAt: now + p.cfg.L2HitLatency, rep: rep})

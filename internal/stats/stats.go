@@ -147,8 +147,34 @@ func (m *Mem) LowRBLReqFrac(lo, hi int) float64 {
 	return float64(in) / float64(total)
 }
 
-// Merge adds o into m.
+// hasData reports whether m recorded any activity, distinguishing a live
+// single-channel Mem (whose NumChannels is still 0) from an untouched
+// accumulator.
+func (m *Mem) hasData() bool {
+	return m.Cycles != 0 || m.Activations != 0 || m.Reads != 0 || m.Writes != 0 ||
+		m.ReadReqs != 0 || m.WriteReqs != 0 || m.DataBusBusy != 0
+}
+
+// Channels returns how many channels m's counters represent: the explicit
+// NumChannels when set, 1 for an unmerged Mem with data, 0 for an untouched
+// accumulator. This resolves the 0-vs-1 ambiguity of NumChannels, where a
+// per-channel Mem carries 0 and a merged Mem covering one channel carries 1.
+func (m *Mem) Channels() int {
+	if m.NumChannels > 0 {
+		return m.NumChannels
+	}
+	if m.hasData() {
+		return 1
+	}
+	return 0
+}
+
+// Merge adds o into m. NumChannels is normalized on both sides via Channels,
+// so merging per-channel Mems, already-merged Mems, or a mix all yield the
+// correct channel count (previously, merging into a Mem holding unmerged
+// single-channel data silently lost that channel).
 func (m *Mem) Merge(o *Mem) {
+	m.NumChannels = m.Channels() + o.Channels()
 	m.Activations += o.Activations
 	m.Reads += o.Reads
 	m.Writes += o.Writes
@@ -159,11 +185,6 @@ func (m *Mem) Merge(o *Mem) {
 	if o.Cycles > m.Cycles {
 		m.Cycles = o.Cycles
 	}
-	if o.NumChannels > 1 {
-		m.NumChannels += o.NumChannels
-	} else {
-		m.NumChannels++
-	}
 	for i := range m.RBL {
 		m.RBL[i] += o.RBL[i]
 		m.ReadsPerRBL[i] += o.ReadsPerRBL[i]
@@ -173,6 +194,69 @@ func (m *Mem) Merge(o *Mem) {
 	m.QueueOccSum += o.QueueOccSum
 	m.DelaySum += o.DelaySum
 	m.ThRBLSum += o.ThRBLSum
+}
+
+// Validate checks the internal consistency invariants that hold for any Mem
+// at the end of a drained run (and, except where noted, mid-run too). It
+// returns nil when all hold, or an error listing every violation. Use it in
+// tests and when ingesting externally produced telemetry.
+func (m *Mem) Validate() error {
+	var errs []string
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+
+	var actsClosed, reqsClosed, readsClosed uint64
+	for i := 1; i <= MaxTrackedRBL; i++ {
+		actsClosed += m.RBL[i]
+		reqsClosed += m.RBL[i] * uint64(i)
+		readsClosed += m.ReadsPerRBL[i]
+	}
+	if m.RBL[0] != 0 || m.ReadsPerRBL[0] != 0 {
+		fail("RBL bucket 0 must be unused: RBL[0]=%d ReadsPerRBL[0]=%d", m.RBL[0], m.ReadsPerRBL[0])
+	}
+	// Closed activations cannot outnumber all activations, and the requests
+	// they served cannot exceed the column accesses issued. reqsClosed is an
+	// under-count when activations clamp at MaxTrackedRBL, so <= still holds.
+	if actsClosed > m.Activations {
+		fail("closed activations %d > total activations %d", actsClosed, m.Activations)
+	}
+	if readsClosed > m.Reads {
+		fail("sum(ReadsPerRBL)=%d > Reads=%d", readsClosed, m.Reads)
+	}
+	if reqsClosed > m.Reads+m.Writes {
+		fail("requests served by closed activations %d > Reads+Writes %d", reqsClosed, m.Reads+m.Writes)
+	}
+	if m.ReadOnlyActs > actsClosed {
+		fail("ReadOnlyActs %d > closed activations %d", m.ReadOnlyActs, actsClosed)
+	}
+	// Every arrived read is eventually served by a RD or dropped by AMS;
+	// neither can exceed the arrivals. Likewise for writes.
+	if m.Dropped > m.ReadReqs {
+		fail("Dropped %d > ReadReqs %d", m.Dropped, m.ReadReqs)
+	}
+	if m.Reads+m.Dropped > m.ReadReqs {
+		fail("Reads+Dropped %d > ReadReqs %d", m.Reads+m.Dropped, m.ReadReqs)
+	}
+	if m.Writes > m.WriteReqs {
+		fail("Writes %d > WriteReqs %d", m.Writes, m.WriteReqs)
+	}
+	if m.NumChannels < 0 {
+		fail("NumChannels %d < 0", m.NumChannels)
+	}
+	// The data bus cannot be busy more than all cycles across all channels.
+	if ch := uint64(m.Channels()); ch > 0 && m.DataBusBusy > m.Cycles*ch {
+		fail("DataBusBusy %d > Cycles*channels %d", m.DataBusBusy, m.Cycles*ch)
+	}
+	// The queue-occupancy integral is bounded by every queue being full (the
+	// queue size is unknown here, but occupancy can never exceed arrivals).
+	if m.QueueOccSum > 0 && m.ReadReqs+m.WriteReqs == 0 {
+		fail("QueueOccSum %d with no arrived requests", m.QueueOccSum)
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("stats: %s", strings.Join(errs, "; "))
 }
 
 // RBLShare returns the fraction of activations whose RBL lies in [lo, hi].

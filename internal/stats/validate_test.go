@@ -1,0 +1,128 @@
+package stats_test
+
+import (
+	"strings"
+	"testing"
+
+	"lazydram/internal/stats"
+)
+
+// channelMem builds a plausible single-channel Mem as the DRAM layer would.
+func channelMem() stats.Mem {
+	var m stats.Mem
+	m.Cycles = 10_000
+	m.Activations = 120
+	m.Reads = 800
+	m.Writes = 200
+	m.ReadReqs = 850
+	m.WriteReqs = 200
+	m.Dropped = 50
+	m.DataBusBusy = 2000
+	m.QueueOccSum = 40_000
+	for i := 0; i < 100; i++ {
+		m.RecordActivationClose(8, 7, false)
+	}
+	return m
+}
+
+func TestValidateAcceptsConsistentMem(t *testing.T) {
+	m := channelMem()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("consistent Mem rejected: %v", err)
+	}
+	var merged stats.Mem
+	a, b := channelMem(), channelMem()
+	merged.Merge(&a)
+	merged.Merge(&b)
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged Mem rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*stats.Mem)
+		want   string
+	}{
+		{"rbl-bucket-0", func(m *stats.Mem) { m.RBL[0] = 1 }, "bucket 0"},
+		{"dropped-exceeds-reads", func(m *stats.Mem) { m.Dropped = m.ReadReqs + 1 }, "Dropped"},
+		{"reads-exceed-reqs", func(m *stats.Mem) { m.Reads = m.ReadReqs + 1 }, "ReadReqs"},
+		{"writes-exceed-reqs", func(m *stats.Mem) { m.Writes = m.WriteReqs + 1 }, "Writes"},
+		{"closed-acts-exceed-total", func(m *stats.Mem) { m.Activations = 1 }, "activations"},
+		{"readsperrbl-exceed-reads", func(m *stats.Mem) { m.ReadsPerRBL[8] += m.Reads }, "ReadsPerRBL"},
+		{"bus-busier-than-time", func(m *stats.Mem) { m.DataBusBusy = m.Cycles + 1 }, "DataBusBusy"},
+		{"negative-channels", func(m *stats.Mem) { m.NumChannels = -1 }, "NumChannels"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := channelMem()
+			tc.mutate(&m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatalf("violation not caught")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestChannelsNormalization(t *testing.T) {
+	var empty stats.Mem
+	if got := empty.Channels(); got != 0 {
+		t.Fatalf("empty accumulator Channels = %d, want 0", got)
+	}
+	single := channelMem()
+	if got := single.Channels(); got != 1 {
+		t.Fatalf("unmerged single-channel Channels = %d, want 1", got)
+	}
+	single.NumChannels = 4
+	if got := single.Channels(); got != 4 {
+		t.Fatalf("merged Channels = %d, want 4", got)
+	}
+}
+
+// TestMergeCountsBothSidesChannels pins the fix for the 0-vs-1 ambiguity:
+// merging directly into a Mem that holds unmerged single-channel data must
+// count that channel too.
+func TestMergeCountsBothSidesChannels(t *testing.T) {
+	a, b := channelMem(), channelMem()
+	a.Merge(&b)
+	if a.NumChannels != 2 {
+		t.Fatalf("channel-into-channel merge: NumChannels = %d, want 2", a.NumChannels)
+	}
+	// BWUtil must average over both channels: each was 0.2 busy.
+	if got := a.BWUtil(); got != 0.2 {
+		t.Fatalf("merged BWUtil = %v, want 0.2", got)
+	}
+
+	// Merging an already-merged Mem (NumChannels=1 covering one channel)
+	// behaves identically to merging the raw channel.
+	var viaMerged, direct stats.Mem
+	c := channelMem()
+	var cm stats.Mem
+	cm.Merge(&c) // cm.NumChannels == 1
+	viaMerged.Merge(&cm)
+	direct.Merge(&c)
+	if viaMerged.NumChannels != direct.NumChannels {
+		t.Fatalf("merged-Mem merge NumChannels %d != raw-channel merge %d",
+			viaMerged.NumChannels, direct.NumChannels)
+	}
+
+	// Merging two merged aggregates sums their channel counts.
+	var x, y stats.Mem
+	for i := 0; i < 3; i++ {
+		m := channelMem()
+		x.Merge(&m)
+	}
+	for i := 0; i < 2; i++ {
+		m := channelMem()
+		y.Merge(&m)
+	}
+	x.Merge(&y)
+	if x.NumChannels != 5 {
+		t.Fatalf("aggregate merge NumChannels = %d, want 5", x.NumChannels)
+	}
+}
