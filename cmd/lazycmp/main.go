@@ -1,0 +1,341 @@
+// Command lazycmp diffs two lazysim -json telemetry documents and gates on
+// regressions: it compares every numeric run metric (IPC, BWUTIL,
+// activations, row/memory energy, AMS coverage and app error, per-stage
+// latency percentiles, per-channel energy attribution), prints a human
+// table plus an optional machine-readable delta JSON, and exits non-zero
+// when any delta exceeds its threshold.
+//
+// Usage:
+//
+//	lazycmp [flags] baseline.json candidate.json
+//
+//	-max-rel F      allowed |relative delta| for every metric (default 0:
+//	                metrics must match exactly)
+//	-min-abs F      ignore deltas whose |absolute delta| is below F
+//	-thresholds S   per-metric overrides, e.g. "ipc=0.02,stage.*=0.10";
+//	                a trailing * matches by prefix, later entries win ties
+//	                only by being more specific (exact > longest prefix)
+//	-json FILE      write the delta document to FILE ("-" for stdout)
+//	-report-only    always exit 0; print and emit deltas only
+//	-fail-on-new    treat metrics present in only one document as failures
+//
+// Exit status: 0 all metrics within thresholds, 1 regression detected,
+// 2 usage or input error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lazycmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		maxRel     = fs.Float64("max-rel", 0, "allowed |relative delta| for every metric (0 = exact match)")
+		minAbs     = fs.Float64("min-abs", 0, "ignore deltas with |absolute delta| below this")
+		thresholds = fs.String("thresholds", "", `per-metric threshold overrides, e.g. "ipc=0.02,stage.*=0.10"`)
+		jsonOut    = fs.String("json", "", `write the machine-readable delta document here ("-" for stdout)`)
+		reportOnly = fs.Bool("report-only", false, "never fail: print and emit deltas, exit 0")
+		failOnNew  = fs.Bool("fail-on-new", false, "fail when a metric exists in only one document")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: lazycmp [flags] baseline.json candidate.json")
+		return 2
+	}
+	th, err := parseThresholds(*thresholds)
+	if err != nil {
+		fmt.Fprintln(stderr, "lazycmp:", err)
+		return 2
+	}
+	basePath, candPath := fs.Arg(0), fs.Arg(1)
+	base, err := loadMetrics(basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "lazycmp:", err)
+		return 2
+	}
+	cand, err := loadMetrics(candPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "lazycmp:", err)
+		return 2
+	}
+
+	doc := compare(base, cand, cmpConfig{maxRel: *maxRel, minAbs: *minAbs, overrides: th})
+	doc.Baseline = basePath
+	doc.Candidate = candPath
+
+	printTable(stdout, doc)
+
+	if *jsonOut != "" {
+		var w io.Writer = stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "lazycmp:", err)
+				return 2
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(stderr, "lazycmp:", err)
+			return 2
+		}
+	}
+
+	if *reportOnly {
+		return 0
+	}
+	if doc.Failed > 0 || (*failOnNew && doc.Unmatched > 0) {
+		return 1
+	}
+	return 0
+}
+
+// loadMetrics reads one lazysim -json document and flattens it to
+// name -> value.
+func loadMetrics(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return flatten(doc), nil
+}
+
+// flatten extracts the comparable numeric metrics from a report document:
+// top-level scalars (minus run identity and wall time), per-stage latency
+// digests keyed by stage name, and the per-channel energy attribution.
+// Time series, per-bank rows, and the hottest-bank summary are derived
+// views and stay out of the gate.
+func flatten(doc map[string]any) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range doc {
+		switch k {
+		case "seed", "wall_ms", "hottest_banks":
+			// seed is identity, wall time is noise, hottest banks are a
+			// derived top-N whose membership may flap on ties.
+		case "energy_by_channel":
+			arr, _ := v.([]any)
+			for _, e := range arr {
+				m, ok := e.(map[string]any)
+				if !ok {
+					continue
+				}
+				ch, ok := m["channel"].(float64)
+				if !ok {
+					continue
+				}
+				for _, f := range []string{"row_nj", "access_nj", "background_nj", "total_nj"} {
+					if x, ok := m[f].(float64); ok {
+						out[fmt.Sprintf("energy.ch%d.%s", int(ch), f)] = x
+					}
+				}
+			}
+		case "telemetry":
+			m, _ := v.(map[string]any)
+			stages, _ := m["stages"].([]any)
+			for _, s := range stages {
+				sm, ok := s.(map[string]any)
+				if !ok {
+					continue
+				}
+				name, _ := sm["stage"].(string)
+				if name == "" {
+					continue
+				}
+				for _, f := range []string{"count", "mean", "p50", "p90", "p99", "max"} {
+					if x, ok := sm[f].(float64); ok {
+						out["stage."+name+"."+f] = x
+					}
+				}
+			}
+		default:
+			if x, ok := v.(float64); ok {
+				out[k] = x
+			}
+		}
+	}
+	return out
+}
+
+// thresholdRule is one "-thresholds" entry; Pattern with a trailing *
+// matches by prefix.
+type thresholdRule struct {
+	pattern string
+	value   float64
+}
+
+func parseThresholds(s string) ([]thresholdRule, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var rules []thresholdRule
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("threshold %q: want name=fraction", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("threshold %q: bad fraction %q", part, val)
+		}
+		rules = append(rules, thresholdRule{pattern: strings.TrimSpace(name), value: f})
+	}
+	return rules, nil
+}
+
+// resolve returns the threshold for a metric: exact rule, else the longest
+// matching prefix rule, else the default.
+func resolve(name string, rules []thresholdRule, def float64) float64 {
+	best, bestLen := def, -1
+	for _, r := range rules {
+		if r.pattern == name {
+			return r.value
+		}
+		if p, ok := strings.CutSuffix(r.pattern, "*"); ok &&
+			strings.HasPrefix(name, p) && len(p) > bestLen {
+			best, bestLen = r.value, len(p)
+		}
+	}
+	return best
+}
+
+// MetricDelta is one row of the comparison document.
+type MetricDelta struct {
+	Name      string  `json:"name"`
+	Baseline  float64 `json:"baseline"`
+	Candidate float64 `json:"candidate"`
+	Delta     float64 `json:"delta"`
+	// Rel is the relative delta versus the baseline; +-Inf encodes a
+	// change from exactly zero and marshals as a string.
+	Rel       float64 `json:"-"`
+	Threshold float64 `json:"threshold"`
+	// Status is "ok", "fail", "baseline-only", or "candidate-only".
+	Status string `json:"status"`
+}
+
+// MarshalJSON renders Rel as a number, or as a string for +-Inf.
+func (d MetricDelta) MarshalJSON() ([]byte, error) {
+	type alias MetricDelta
+	out := struct {
+		alias
+		Rel any `json:"rel"`
+	}{alias: alias(d), Rel: d.Rel}
+	if math.IsInf(d.Rel, 0) {
+		out.Rel = fmt.Sprintf("%v", d.Rel)
+	}
+	return json.Marshal(out)
+}
+
+// DeltaDoc is the machine-readable output of one comparison.
+type DeltaDoc struct {
+	Baseline  string        `json:"baseline"`
+	Candidate string        `json:"candidate"`
+	Compared  int           `json:"compared"`
+	Failed    int           `json:"failed"`
+	Unmatched int           `json:"unmatched"`
+	Metrics   []MetricDelta `json:"metrics"`
+}
+
+type cmpConfig struct {
+	maxRel    float64
+	minAbs    float64
+	overrides []thresholdRule
+}
+
+// compare builds the delta rows for the union of both metric sets, sorted
+// by name.
+func compare(base, cand map[string]float64, cfg cmpConfig) DeltaDoc {
+	names := make([]string, 0, len(base)+len(cand))
+	for k := range base {
+		names = append(names, k)
+	}
+	for k := range cand {
+		if _, ok := base[k]; !ok {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+
+	var doc DeltaDoc
+	for _, name := range names {
+		a, inA := base[name]
+		b, inB := cand[name]
+		d := MetricDelta{Name: name, Baseline: a, Candidate: b,
+			Threshold: resolve(name, cfg.overrides, cfg.maxRel)}
+		switch {
+		case !inA:
+			d.Status = "candidate-only"
+			doc.Unmatched++
+		case !inB:
+			d.Status = "baseline-only"
+			doc.Unmatched++
+		default:
+			doc.Compared++
+			d.Delta = b - a
+			switch {
+			case d.Delta == 0:
+				d.Rel = 0
+			case a == 0:
+				d.Rel = math.Inf(1)
+				if d.Delta < 0 {
+					d.Rel = math.Inf(-1)
+				}
+			default:
+				d.Rel = d.Delta / math.Abs(a)
+			}
+			d.Status = "ok"
+			if math.Abs(d.Delta) > cfg.minAbs && math.Abs(d.Rel) > d.Threshold {
+				d.Status = "fail"
+				doc.Failed++
+			}
+		}
+		doc.Metrics = append(doc.Metrics, d)
+	}
+	return doc
+}
+
+// printTable renders the human-readable comparison.
+func printTable(w io.Writer, doc DeltaDoc) {
+	fmt.Fprintf(w, "%-36s %14s %14s %14s %9s  %s\n",
+		"metric", "baseline", "candidate", "delta", "rel", "status")
+	for _, d := range doc.Metrics {
+		rel := "-"
+		if d.Status == "ok" || d.Status == "fail" {
+			switch {
+			case math.IsInf(d.Rel, 0):
+				rel = fmt.Sprintf("%v", d.Rel)
+			default:
+				rel = fmt.Sprintf("%+.3f%%", 100*d.Rel)
+			}
+		}
+		fmt.Fprintf(w, "%-36s %14.6g %14.6g %+14.6g %9s  %s\n",
+			d.Name, d.Baseline, d.Candidate, d.Delta, rel, d.Status)
+	}
+	fmt.Fprintf(w, "compared %d metrics: %d failed, %d unmatched\n",
+		doc.Compared, doc.Failed, doc.Unmatched)
+}

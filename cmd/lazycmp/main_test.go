@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleReport = `{
+	"app": "SCP", "scheme": "Dyn-DMS+Dyn-AMS", "seed": 1,
+	"ipc": 2.0153, "bwutil": 0.42, "activations": 31549,
+	"row_energy_nj": 709852.5, "wall_ms": 987.6,
+	"energy_by_channel": [
+		{"channel": 0, "row_nj": 100, "access_nj": 50, "background_nj": 25, "total_nj": 175,
+		 "banks": [{"bank": 0, "row_nj": 100, "access_nj": 50}]}
+	],
+	"hottest_banks": [{"channel": 0, "bank": 0, "row_nj": 100}],
+	"telemetry": {
+		"stages": [
+			{"stage": "mc.queue", "count": 10, "mean": 5.5, "p50": 5, "p90": 9, "p99": 10, "max": 12}
+		],
+		"series": [{"mem_cycle": 1024}]
+	}
+}`
+
+func TestFlatten(t *testing.T) {
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sampleReport), &doc); err != nil {
+		t.Fatal(err)
+	}
+	m := flatten(doc)
+
+	for name, want := range map[string]float64{
+		"ipc":                 2.0153,
+		"activations":         31549,
+		"row_energy_nj":       709852.5,
+		"energy.ch0.row_nj":   100,
+		"energy.ch0.total_nj": 175,
+		"stage.mc.queue.p99":  10,
+		"stage.mc.queue.mean": 5.5,
+	} {
+		if got, ok := m[name]; !ok || got != want {
+			t.Errorf("flatten[%q] = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+	// Identity, noise, and derived views must stay out of the gate.
+	for _, name := range []string{"seed", "wall_ms", "app", "scheme", "hottest_banks"} {
+		if _, ok := m[name]; ok {
+			t.Errorf("flatten leaked %q into the comparable set", name)
+		}
+	}
+}
+
+func TestParseThresholdsAndResolve(t *testing.T) {
+	rules, err := parseThresholds("ipc=0.02, stage.*=0.10,stage.mc.queue.p99=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		"ipc":                0.02, // exact
+		"stage.mc.queue.p50": 0.10, // prefix
+		"stage.mc.queue.p99": 0.5,  // exact beats prefix
+		"activations":        0,    // default
+	} {
+		if got := resolve(name, rules, 0); got != want {
+			t.Errorf("resolve(%q) = %v, want %v", name, got, want)
+		}
+	}
+	for _, bad := range []string{"ipc", "ipc=x", "ipc=-1"} {
+		if _, err := parseThresholds(bad); err == nil {
+			t.Errorf("parseThresholds(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]float64{"ipc": 2.0, "acts": 100, "gone": 5, "zero": 0}
+	cand := map[string]float64{"ipc": 2.1, "acts": 100, "new": 7, "zero": 3}
+
+	// Default: exact match required, every delta fails.
+	doc := compare(base, cand, cmpConfig{})
+	if doc.Compared != 3 || doc.Unmatched != 2 {
+		t.Fatalf("compared=%d unmatched=%d, want 3/2", doc.Compared, doc.Unmatched)
+	}
+	byName := map[string]MetricDelta{}
+	for _, d := range doc.Metrics {
+		byName[d.Name] = d
+	}
+	if byName["ipc"].Status != "fail" || byName["acts"].Status != "ok" {
+		t.Fatalf("statuses: ipc=%s acts=%s", byName["ipc"].Status, byName["acts"].Status)
+	}
+	if byName["gone"].Status != "baseline-only" || byName["new"].Status != "candidate-only" {
+		t.Fatalf("unmatched statuses wrong: %+v %+v", byName["gone"], byName["new"])
+	}
+	// A change from exactly zero is an infinite relative delta.
+	if !math.IsInf(byName["zero"].Rel, 1) || byName["zero"].Status != "fail" {
+		t.Fatalf("zero-baseline delta: %+v", byName["zero"])
+	}
+
+	// A 5% allowance passes the 5% IPC bump but the zero-jump still fails.
+	doc = compare(base, cand, cmpConfig{maxRel: 0.051})
+	if doc.Failed != 1 {
+		t.Fatalf("with maxRel=0.051 failed=%d, want only the zero metric", doc.Failed)
+	}
+	// ... unless min-abs absorbs it as jitter.
+	doc = compare(base, cand, cmpConfig{maxRel: 0.051, minAbs: 3})
+	if doc.Failed != 0 {
+		t.Fatalf("min-abs did not absorb the small absolute delta: failed=%d", doc.Failed)
+	}
+	// Per-metric override beats the default.
+	doc = compare(base, cand, cmpConfig{overrides: []thresholdRule{{pattern: "ipc", value: 0.1}, {pattern: "zero", value: math.Inf(1)}}})
+	if doc.Failed != 0 {
+		t.Fatalf("overrides not applied: failed=%d", doc.Failed)
+	}
+}
+
+func writeDoc(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	self := writeDoc(t, dir, "a.json", sampleReport)
+	bumped := strings.Replace(sampleReport, `"ipc": 2.0153`, `"ipc": 2.5`, 1)
+	other := writeDoc(t, dir, "b.json", bumped)
+	extra := writeDoc(t, dir, "c.json",
+		strings.Replace(sampleReport, `"bwutil": 0.42,`, ``, 1))
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"self-diff", []string{self, self}, 0},
+		{"regression", []string{self, other}, 1},
+		{"regression-within-threshold", []string{"-thresholds", "ipc=0.5", self, other}, 0},
+		{"report-only", []string{"-report-only", self, other}, 0},
+		{"missing-metric-tolerated", []string{self, extra}, 0},
+		{"missing-metric-fail-on-new", []string{"-fail-on-new", self, extra}, 1},
+		{"bad-threshold", []string{"-thresholds", "x", self, self}, 2},
+		{"missing-file", []string{self, filepath.Join(dir, "nope.json")}, 2},
+		{"usage", []string{self}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			if got := run(tc.args, &out, &errBuf); got != tc.want {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, tc.want, out.String(), errBuf.String())
+			}
+		})
+	}
+
+	// Self-diff must report every metric compared with zero deltas, and the
+	// -json delta document must agree.
+	var out, errBuf bytes.Buffer
+	deltaPath := filepath.Join(dir, "delta.json")
+	if got := run([]string{"-json", deltaPath, self, self}, &out, &errBuf); got != 0 {
+		t.Fatalf("self-diff exit %d: %s", got, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "0 failed, 0 unmatched") {
+		t.Fatalf("self-diff table:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(deltaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc DeltaDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("delta document invalid: %v", err)
+	}
+	if doc.Failed != 0 || doc.Unmatched != 0 || doc.Compared == 0 {
+		t.Fatalf("delta doc: %+v", doc)
+	}
+	for _, m := range doc.Metrics {
+		if m.Delta != 0 {
+			t.Fatalf("self-diff has nonzero delta for %s: %v", m.Name, m.Delta)
+		}
+	}
+}
+
+// TestMetricDeltaInfMarshal: ±Inf relative deltas must encode as strings so
+// the delta document stays valid JSON.
+func TestMetricDeltaInfMarshal(t *testing.T) {
+	raw, err := json.Marshal(MetricDelta{Name: "x", Rel: math.Inf(1), Status: "fail"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"rel":"+Inf"`) {
+		t.Fatalf("Inf rel encoding: %s", raw)
+	}
+}

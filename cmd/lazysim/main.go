@@ -17,6 +17,9 @@
 //	-trace FILE      write the DRAM command trace (Chrome trace_event JSON;
 //	                 a .jsonl suffix selects the JSONL exporter)
 //	-trace-cap N     command-trace ring capacity
+//	-metrics-addr A  serve live Prometheus metrics on A (e.g. localhost:9090):
+//	                 /metrics is the text exposition, /vars the expvar JSON
+//	-top-banks N     hottest-bank summary length in -json output
 //	-pprof ADDR      serve net/http/pprof on ADDR (e.g. localhost:6060)
 //	-cpuprofile FILE write a CPU profile of the run
 package main
@@ -25,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"lazydram/internal/approx"
+	"lazydram/internal/energy"
 	"lazydram/internal/mc"
 	"lazydram/internal/obs"
 	"lazydram/internal/sim"
@@ -55,6 +60,9 @@ func main() {
 		traceOut = flag.String("trace", "", "write the DRAM command trace to this file (.jsonl for JSONL, else Chrome trace_event JSON)")
 		traceCap = flag.Int("trace-cap", 1<<18, "DRAM command trace ring capacity (commands retained)")
 		golden   = flag.Bool("golden", false, "force the golden functional run even for exact schemes")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics (Prometheus) and /vars (expvar JSON) on this address during the run")
+		topBanks    = flag.Int("top-banks", 8, "number of hottest banks in the -json summary")
 
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -107,6 +115,17 @@ func main() {
 	if *traceOut != "" {
 		cfg.Obs.TraceCapacity = *traceCap
 	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		cfg.Obs.Metrics = reg
+		srv, addr, err := serveMetrics(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics and /vars\n", addr)
+	}
 
 	start := time.Now()
 	res, err := sim.Simulate(kern, cfg, sch, *seed)
@@ -133,7 +152,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := json.NewEncoder(os.Stdout).Encode(buildReport(&res.Run, res, *seed, wall)); err != nil {
+		if err := json.NewEncoder(os.Stdout).Encode(buildReport(&res.Run, res, *seed, wall, *topBanks)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -141,7 +160,34 @@ func main() {
 	}
 	fmt.Print(res.Run.String())
 	fmt.Printf("  vp: %d predictions (%d fallbacks)\n", res.VPPredictions, res.VPFallbacks)
+	if hot := energy.TopBanks(res.EnergyByChannel, 3); len(hot) > 0 {
+		fmt.Printf("  hot banks:")
+		for _, h := range hot {
+			fmt.Printf(" ch%d.b%d=%.0fnJ(%.1f%%)", h.Channel, h.Bank, h.RowNJ, 100*h.RowShare)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("  wall: %v\n", wall.Round(time.Millisecond))
+}
+
+// serveMetrics starts an HTTP server exposing the registry: Prometheus text
+// exposition at /metrics and expvar-style JSON at /vars. It returns the
+// bound address so callers (and tests) can use ":0".
+func serveMetrics(addr string, reg *obs.Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/vars", reg.ExpvarHandler())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
+	}()
+	return srv, ln.Addr().String(), nil
 }
 
 func writeTrace(tr *obs.CmdTrace, path string) error {
@@ -194,10 +240,15 @@ type report struct {
 
 	WallMS float64 `json:"wall_ms"`
 
+	// EnergyByChannel is the per-channel × per-bank energy attribution;
+	// HottestBanks the top-N banks by row energy across the whole system.
+	EnergyByChannel []energy.ChannelEnergy `json:"energy_by_channel,omitempty"`
+	HottestBanks    []energy.HotBank       `json:"hottest_banks,omitempty"`
+
 	Telemetry *obs.Telemetry `json:"telemetry,omitempty"`
 }
 
-func buildReport(r *stats.Run, res *sim.Result, seed int64, wall time.Duration) report {
+func buildReport(r *stats.Run, res *sim.Result, seed int64, wall time.Duration, topBanks int) report {
 	ch := r.Mem.Channels()
 	if ch < 1 {
 		ch = 1
@@ -236,7 +287,11 @@ func buildReport(r *stats.Run, res *sim.Result, seed int64, wall time.Duration) 
 		VPPredictions: res.VPPredictions,
 		VPFallbacks:   res.VPFallbacks,
 		WallMS:        float64(wall.Microseconds()) / 1000,
-		Telemetry:     res.Telemetry,
+
+		EnergyByChannel: res.EnergyByChannel,
+		HottestBanks:    energy.TopBanks(res.EnergyByChannel, topBanks),
+
+		Telemetry: res.Telemetry,
 	}
 }
 

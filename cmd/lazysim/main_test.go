@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lazydram/internal/mc"
+	"lazydram/internal/obs"
+	"lazydram/internal/sim"
+	"lazydram/internal/workloads"
+)
+
+// TestMetricsServerEndToEnd drives the same path as -metrics-addr: bind an
+// ephemeral port, run a real simulation publishing into the registry, and
+// scrape /metrics and /vars over HTTP while and after it runs.
+func TestMetricsServerEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, addr, err := serveMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	kern, err := workloads.New("SCP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Obs = obs.Options{Metrics: reg, MetricsEvery: 256}
+	res, err := sim.Simulate(kern, cfg, mc.DynBoth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		cl := &http.Client{Timeout: 5 * time.Second}
+		resp, err := cl.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	prom := string(get("/metrics"))
+	for _, name := range []string{
+		"lazysim_core_cycles_total",
+		"lazysim_instructions_total",
+		"lazysim_ipc",
+		"lazysim_bwutil",
+		"lazysim_row_energy_nj",
+		`lazysim_run_info{app="SCP",scheme="Dyn-DMS+Dyn-AMS"} 1`,
+		`lazysim_bank_activations_total{channel="0",bank="0"}`,
+		`lazysim_channel_reads_total{channel="0"}`,
+	} {
+		if !strings.Contains(prom, name) {
+			t.Errorf("/metrics missing %q", name)
+		}
+	}
+
+	var vars map[string]any
+	if err := json.Unmarshal(get("/vars"), &vars); err != nil {
+		t.Fatalf("/vars not valid JSON: %v", err)
+	}
+	if got := vars["lazysim_mem_cycles_total"]; got != float64(res.Run.Mem.Cycles) {
+		t.Errorf("/vars mem cycles %v, want %d", got, res.Run.Mem.Cycles)
+	}
+}
+
+// TestBuildReportJSON checks the -json document carries the per-bank
+// attribution, the hottest-bank summary honours -top-banks, and the whole
+// report round-trips through encoding/json with the stable field names
+// lazycmp flattens.
+func TestBuildReportJSON(t *testing.T) {
+	kern, err := workloads.New("SCP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	res, err := sim.Simulate(kern, cfg, mc.DynBoth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := buildReport(&res.Run, res, 1, 123*time.Millisecond, 2)
+
+	if len(rep.EnergyByChannel) == 0 {
+		t.Fatal("report missing energy_by_channel")
+	}
+	if len(rep.HottestBanks) != 2 {
+		t.Fatalf("top-banks=2 produced %d entries", len(rep.HottestBanks))
+	}
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"app", "scheme", "ipc", "bwutil", "activations",
+		"row_energy_nj", "mem_energy_nj", "energy_by_channel", "hottest_banks",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("report JSON missing %q", key)
+		}
+	}
+	ebc := doc["energy_by_channel"].([]any)
+	ch0 := ebc[0].(map[string]any)
+	for _, key := range []string{"channel", "row_nj", "access_nj", "background_nj", "total_nj", "banks"} {
+		if _, ok := ch0[key]; !ok {
+			t.Errorf("energy_by_channel entry missing %q", key)
+		}
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	s, err := ParseScheme("static-dms", 64, 8)
+	if err != nil || s.StaticDelay != 64 {
+		t.Fatalf("static-dms: %+v, %v", s, err)
+	}
+	if _, err := ParseScheme("nope", 0, 0); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

@@ -89,6 +89,13 @@ type Bank struct {
 	served      int
 	servedReads int
 	readOnly    bool
+
+	// demandClosed remembers that the bank's last close was a demand
+	// precharge (the scheduler evicted a row to open another); conflictAct
+	// carries that into the current activation so its first column access is
+	// classified as a row conflict rather than a row miss.
+	demandClosed bool
+	conflictAct  bool
 }
 
 // Channel is one DRAM channel: a set of banks plus channel-level constraints
@@ -121,6 +128,7 @@ type Channel struct {
 // NewChannel creates a channel with all banks closed.
 func NewChannel(cfg Config, st *stats.Mem) *Channel {
 	ch := &Channel{cfg: cfg, banks: make([]Bank, cfg.NumBanks), stats: st, lastColBank: -1}
+	st.EnsureBanks(cfg.NumBanks)
 	if cfg.Timing.REFI > 0 {
 		ch.nextRefresh = cfg.Timing.REFI
 	}
@@ -179,6 +187,9 @@ func (c *Channel) Refreshing(now uint64) bool {
 				c.closeStats(bk)
 				bk.OpenRow = NoRow
 			}
+			// A refresh close is not a demand precharge: the next
+			// activation's first access classifies as a row miss.
+			bk.demandClosed = false
 			if n := now + t.RFC; n > bk.nextAct {
 				bk.nextAct = n
 			}
@@ -220,8 +231,11 @@ func (c *Channel) Activate(b int, row int64, now uint64) {
 	bk.served = 0
 	bk.servedReads = 0
 	bk.readOnly = true
+	bk.conflictAct = bk.demandClosed
+	bk.demandClosed = false
 	c.nextActAny = now + t.RRD
 	c.stats.Activations++
+	c.stats.Bank(b).Activations++
 	c.trace.Add(obs.CmdACT, c.chanID, b, row, now)
 }
 
@@ -232,14 +246,44 @@ func (c *Channel) CanPrecharge(b int, now uint64) bool {
 }
 
 // Precharge closes the open row of bank b at cycle now and records the
-// row-buffer locality of the finished activation.
+// row-buffer locality of the finished activation. It is the demand form —
+// the scheduler closes the row to open another — so the next activation's
+// first access counts as a row conflict.
 func (c *Channel) Precharge(b int, now uint64) {
+	c.precharge(b, now, true)
+}
+
+// PrechargeIdle closes the open row of bank b because it has no pending
+// work (closed-row policy); the next activation's first access counts as a
+// row miss, not a conflict.
+func (c *Channel) PrechargeIdle(b int, now uint64) {
+	c.precharge(b, now, false)
+}
+
+func (c *Channel) precharge(b int, now uint64, demand bool) {
 	bk := &c.banks[b]
 	c.trace.Add(obs.CmdPRE, c.chanID, b, bk.OpenRow, now)
 	c.closeStats(bk)
 	bk.OpenRow = NoRow
+	bk.demandClosed = demand
+	c.stats.Bank(b).Precharges++
 	if n := now + c.cfg.Timing.RP; n > bk.nextAct {
 		bk.nextAct = n
+	}
+}
+
+// classifyColumn updates bank b's row hit/miss/conflict counters for one
+// column access: reuse of the open row is a hit; the activation's first
+// access is a conflict when the bank was demand-precharged, else a miss.
+func (c *Channel) classifyColumn(b int, bk *Bank) {
+	bs := c.stats.Bank(b)
+	switch {
+	case bk.served > 0:
+		bs.RowHits++
+	case bk.conflictAct:
+		bs.RowConflicts++
+	default:
+		bs.RowMisses++
 	}
 }
 
@@ -267,6 +311,10 @@ func (c *Channel) Read(b int, now uint64) (dataReady uint64) {
 	// Burst occupies the data bus for CCD cycles starting at now+CL.
 	c.stats.DataBusBusy += t.CCD
 	c.stats.Reads++
+	bs := c.stats.Bank(b)
+	bs.Reads++
+	bs.BusBusy += t.CCD
+	c.classifyColumn(b, bk)
 	c.trace.Add(obs.CmdRD, c.chanID, b, bk.OpenRow, now)
 	bk.served++
 	bk.servedReads++
@@ -298,6 +346,10 @@ func (c *Channel) Write(b int, now uint64) (done uint64) {
 	t := c.cfg.Timing
 	c.stats.DataBusBusy += t.CCD
 	c.stats.Writes++
+	bs := c.stats.Bank(b)
+	bs.Writes++
+	bs.BusBusy += t.CCD
+	c.classifyColumn(b, bk)
 	c.trace.Add(obs.CmdWR, c.chanID, b, bk.OpenRow, now)
 	bk.served++
 	bk.readOnly = false

@@ -10,7 +10,11 @@
 // the reproduction target — do not depend on the absolute constants.
 package energy
 
-import "lazydram/internal/stats"
+import (
+	"sort"
+
+	"lazydram/internal/stats"
+)
 
 // Profile holds per-operation energies in nanojoules plus background power.
 type Profile struct {
@@ -80,6 +84,130 @@ func (p Profile) MemEnergyNJ(m *stats.Mem, memCycles uint64, memClockHz float64,
 	seconds := float64(memCycles) / memClockHz
 	background := p.BackgroundWPerChannel * float64(channels) * seconds * 1e9
 	return p.RowEnergyNJ(m) + p.AccessEnergyNJ(m) + background
+}
+
+// BankEnergy attributes one bank's share of the channel energy, alongside
+// the counters the attribution derives from.
+type BankEnergy struct {
+	Bank     int     `json:"bank"`
+	RowNJ    float64 `json:"row_nj"`
+	AccessNJ float64 `json:"access_nj"`
+
+	Activations    uint64 `json:"activations"`
+	Reads          uint64 `json:"reads"`
+	Writes         uint64 `json:"writes"`
+	RowHits        uint64 `json:"row_hits"`
+	RowMisses      uint64 `json:"row_misses"`
+	RowConflicts   uint64 `json:"row_conflicts"`
+	DMSDelayCycles uint64 `json:"dms_delay_cycles"`
+	AMSDrops       uint64 `json:"ams_drops"`
+}
+
+// ChannelEnergy attributes one channel's energy, split per bank. Background
+// energy is a channel-level quantity and has no per-bank split.
+type ChannelEnergy struct {
+	Channel      int          `json:"channel"`
+	RowNJ        float64      `json:"row_nj"`
+	AccessNJ     float64      `json:"access_nj"`
+	BackgroundNJ float64      `json:"background_nj"`
+	TotalNJ      float64      `json:"total_nj"`
+	Banks        []BankEnergy `json:"banks,omitempty"`
+}
+
+// ChannelAttribution computes the energy attribution of one channel from its
+// per-channel statistics. memCycles and memClockHz are the run length and
+// memory clock, as in MemEnergyNJ; the channel's bank matrix (when tracked)
+// yields the per-bank split.
+func (p Profile) ChannelAttribution(channel int, m *stats.Mem, memCycles uint64, memClockHz float64) ChannelEnergy {
+	ce := ChannelEnergy{
+		Channel:      channel,
+		RowNJ:        p.RowEnergyNJ(m),
+		AccessNJ:     p.AccessEnergyNJ(m),
+		BackgroundNJ: p.BackgroundWPerChannel * float64(memCycles) / memClockHz * 1e9,
+	}
+	ce.TotalNJ = ce.RowNJ + ce.AccessNJ + ce.BackgroundNJ
+	for i := range m.Banks {
+		b := &m.Banks[i]
+		ce.Banks = append(ce.Banks, BankEnergy{
+			Bank:           i,
+			RowNJ:          float64(b.Activations) * p.ActNJ,
+			AccessNJ:       float64(b.Reads)*p.RdNJ + float64(b.Writes)*p.WrNJ,
+			Activations:    b.Activations,
+			Reads:          b.Reads,
+			Writes:         b.Writes,
+			RowHits:        b.RowHits,
+			RowMisses:      b.RowMisses,
+			RowConflicts:   b.RowConflicts,
+			DMSDelayCycles: b.DMSDelayCycles,
+			AMSDrops:       b.AMSDrops,
+		})
+	}
+	return ce
+}
+
+// Attribution computes the per-channel × per-bank energy attribution for a
+// whole memory system from its per-channel statistics snapshots. The summed
+// totals equal MemEnergyNJ of the merged statistics.
+func (p Profile) Attribution(chans []stats.Mem, memCycles uint64, memClockHz float64) []ChannelEnergy {
+	out := make([]ChannelEnergy, 0, len(chans))
+	for i := range chans {
+		out = append(out, p.ChannelAttribution(i, &chans[i], memCycles, memClockHz))
+	}
+	return out
+}
+
+// HotBank is one entry of the "hottest banks" summary: where the row energy
+// concentrates.
+type HotBank struct {
+	Channel int     `json:"channel"`
+	Bank    int     `json:"bank"`
+	RowNJ   float64 `json:"row_nj"`
+	// RowShare is this bank's fraction of the whole system's row energy.
+	RowShare     float64 `json:"row_share"`
+	Activations  uint64  `json:"activations"`
+	RowConflicts uint64  `json:"row_conflicts"`
+}
+
+// TopBanks returns the n banks with the highest row energy across the
+// attribution, sorted hottest first (ties broken by channel then bank for
+// determinism). Banks that never activated are omitted.
+func TopBanks(attr []ChannelEnergy, n int) []HotBank {
+	var total float64
+	var all []HotBank
+	for _, ce := range attr {
+		for _, b := range ce.Banks {
+			total += b.RowNJ
+			if b.Activations == 0 {
+				continue
+			}
+			all = append(all, HotBank{
+				Channel:      ce.Channel,
+				Bank:         b.Bank,
+				RowNJ:        b.RowNJ,
+				Activations:  b.Activations,
+				RowConflicts: b.RowConflicts,
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.RowNJ != b.RowNJ {
+			return a.RowNJ > b.RowNJ
+		}
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		return a.Bank < b.Bank
+	})
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	if total > 0 {
+		for i := range all {
+			all[i].RowShare = all[i].RowNJ / total
+		}
+	}
+	return all
 }
 
 // SystemSaving projects the memory-system energy saving for this technology

@@ -12,8 +12,113 @@ func TestRowEnergyProportionalToActivations(t *testing.T) {
 	p := energy.GDDR5()
 	a := &stats.Mem{Activations: 100}
 	b := &stats.Mem{Activations: 300}
-	if got := energy.Profile.RowEnergyNJ(p, b) / p.RowEnergyNJ(a); got != 3 {
+	if got := p.RowEnergyNJ(b) / p.RowEnergyNJ(a); got != 3 {
 		t.Fatalf("row energy ratio = %v, want 3", got)
+	}
+}
+
+func TestHBM2Profile(t *testing.T) {
+	p := energy.HBM2()
+	if p.Name != "HBM2" {
+		t.Fatalf("name = %q, want HBM2", p.Name)
+	}
+	m := &stats.Mem{Activations: 10, Reads: 100, Writes: 50}
+	if got, want := p.RowEnergyNJ(m), 10*p.ActNJ; got != want {
+		t.Fatalf("HBM2 row energy = %v, want %v", got, want)
+	}
+	if got, want := p.AccessEnergyNJ(m), 100*p.RdNJ+50*p.WrNJ; got != want {
+		t.Fatalf("HBM2 access energy = %v, want %v", got, want)
+	}
+	// Row energy per activation must sit well below GDDR5's: the paper's
+	// HBM projections rest on that ordering.
+	if g := energy.GDDR5(); p.ActNJ >= g.ActNJ {
+		t.Fatalf("HBM2 ActNJ %v not below GDDR5 %v", p.ActNJ, g.ActNJ)
+	}
+	total := p.MemEnergyNJ(m, 1000, 1e9, 1)
+	background := p.BackgroundWPerChannel * 1000 / 1e9 * 1e9
+	if want := p.RowEnergyNJ(m) + p.AccessEnergyNJ(m) + background; math.Abs(total-want) > 1e-9 {
+		t.Fatalf("HBM2 mem energy = %v, want %v", total, want)
+	}
+}
+
+// TestAttributionSumsToTotals: the per-channel x per-bank attribution must
+// be an exact decomposition of the aggregate energy model.
+func TestAttributionSumsToTotals(t *testing.T) {
+	p := energy.GDDR5()
+	chans := make([]stats.Mem, 3)
+	for c := range chans {
+		m := &chans[c]
+		for b := 0; b < 4; b++ {
+			bk := m.Bank(b)
+			bk.Activations = uint64(10*c + b + 1)
+			bk.Reads = uint64(100 * (b + 1))
+			bk.Writes = uint64(7 * (c + 1))
+			m.Activations += bk.Activations
+			m.Reads += bk.Reads
+			m.Writes += bk.Writes
+		}
+	}
+	const memCycles, hz = 50_000, 924e6
+	attr := p.Attribution(chans, memCycles, hz)
+	if len(attr) != len(chans) {
+		t.Fatalf("attribution covers %d channels, want %d", len(attr), len(chans))
+	}
+
+	var merged stats.Mem
+	var totalNJ float64
+	for c := range attr {
+		ce := attr[c]
+		if ce.Channel != c {
+			t.Fatalf("channel id %d at index %d", ce.Channel, c)
+		}
+		var rowNJ, accNJ float64
+		for _, b := range ce.Banks {
+			rowNJ += b.RowNJ
+			accNJ += b.AccessNJ
+		}
+		if math.Abs(rowNJ-ce.RowNJ) > 1e-6 {
+			t.Errorf("ch%d: bank row sum %v != channel row %v", c, rowNJ, ce.RowNJ)
+		}
+		if math.Abs(accNJ-ce.AccessNJ) > 1e-6 {
+			t.Errorf("ch%d: bank access sum %v != channel access %v", c, accNJ, ce.AccessNJ)
+		}
+		if math.Abs(ce.RowNJ+ce.AccessNJ+ce.BackgroundNJ-ce.TotalNJ) > 1e-6 {
+			t.Errorf("ch%d: total %v != row+access+background", c, ce.TotalNJ)
+		}
+		totalNJ += ce.TotalNJ
+		cm := chans[c]
+		merged.Merge(&cm)
+	}
+	want := p.MemEnergyNJ(&merged, memCycles, hz, len(chans))
+	if math.Abs(totalNJ-want) > 1e-6 {
+		t.Fatalf("attribution total %v != MemEnergyNJ %v", totalNJ, want)
+	}
+}
+
+func TestTopBanks(t *testing.T) {
+	p := energy.GDDR5()
+	chans := make([]stats.Mem, 2)
+	chans[0].Bank(0).Activations = 5
+	chans[0].Bank(1).Activations = 50
+	chans[1].Bank(0).Activations = 20
+	chans[1].Bank(2).Activations = 0 // never activated: omitted
+	for c := range chans {
+		chans[c].Activations = chans[c].BankTotals().Activations
+	}
+	hot := energy.TopBanks(p.Attribution(chans, 1000, 1e9), 2)
+	if len(hot) != 2 {
+		t.Fatalf("top-2 returned %d entries", len(hot))
+	}
+	if hot[0].Channel != 0 || hot[0].Bank != 1 || hot[1].Channel != 1 || hot[1].Bank != 0 {
+		t.Fatalf("unexpected ranking: %+v", hot)
+	}
+	if hot[0].RowNJ < hot[1].RowNJ {
+		t.Fatal("top banks not sorted by row energy")
+	}
+	// Shares are fractions of the whole system's row energy.
+	wantShare := float64(50) / float64(75)
+	if math.Abs(hot[0].RowShare-wantShare) > 1e-9 {
+		t.Fatalf("hottest share = %v, want %v", hot[0].RowShare, wantShare)
 	}
 }
 

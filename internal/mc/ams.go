@@ -143,6 +143,7 @@ func (c *Controller) dropReq(r *Request, now uint64) {
 	c.tr.Observe(obs.StageVPDrop, now-r.Arrival)
 	c.retire(r, ReqDropped)
 	c.st.Dropped++
+	c.st.Bank(r.Coord.Bank).AMSDrops++
 	c.onComplete(r, true, now+c.cfg.VPLatencyCycles)
 }
 

@@ -345,7 +345,10 @@ func (c *Controller) issue(now uint64) {
 			continue
 		}
 		if now-r.Arrival < delay {
-			continue // DMS: let the request age in the queue.
+			// DMS: let the request age in the queue; attribute the blocked
+			// cycle to the bank so per-bank telemetry shows where DMS bites.
+			c.st.Bank(b).DMSDelayCycles++
+			continue
 		}
 		var a action
 		if or != dram.NoRow {
@@ -392,7 +395,7 @@ func (c *Controller) closeIdleRow(now uint64) bool {
 			continue
 		}
 		if c.ch.CanPrecharge(b, now) {
-			c.ch.Precharge(b, now)
+			c.ch.PrechargeIdle(b, now)
 			return true
 		}
 	}

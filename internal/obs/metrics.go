@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the live-metrics half of the observability layer: a small
+// metric registry with Prometheus text exposition and an expvar-style JSON
+// export, designed so the single-threaded simulation loop can publish
+// values (atomic stores) while an HTTP scraper reads them concurrently
+// without locks on the hot path.
+
+// MetricKind distinguishes Prometheus counter and gauge families.
+type MetricKind uint8
+
+// Metric kinds.
+const (
+	KindGauge MetricKind = iota
+	KindCounter
+)
+
+func (k MetricKind) String() string {
+	if k == KindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// Metric is one time series: a float64 value with an atomic in-place
+// representation. Writers (the simulation) call Set/Add; readers (the
+// exposition handlers) call Value.
+type Metric struct {
+	labelValues []string
+	bits        atomic.Uint64
+}
+
+// Set stores v.
+func (m *Metric) Set(v float64) { m.bits.Store(math.Float64bits(v)) }
+
+// Add increments the value by delta.
+func (m *Metric) Add(delta float64) {
+	for {
+		old := m.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if m.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (m *Metric) Value() float64 { return math.Float64frombits(m.bits.Load()) }
+
+// Family is one named metric family, optionally labeled. Children are
+// created on first With call and cached; creation takes the family lock,
+// subsequent lookups of a cached *Metric should be kept by the caller.
+type Family struct {
+	name      string
+	help      string
+	kind      MetricKind
+	labelKeys []string
+
+	mu       sync.Mutex
+	children map[string]*Metric
+	order    []*Metric
+}
+
+// With returns the child metric for the given label values (one per label
+// key, in Register order), creating it on first use. Callers on hot paths
+// should cache the returned *Metric.
+func (f *Family) With(labelValues ...string) *Metric {
+	if len(labelValues) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d",
+			f.name, len(f.labelKeys), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	m := &Metric{labelValues: labelValues}
+	f.children[key] = m
+	f.order = append(f.order, m)
+	return m
+}
+
+// M returns the single child of an unlabeled family.
+func (f *Family) M() *Metric { return f.With() }
+
+// snapshot returns the children in creation order under the family lock.
+func (f *Family) snapshot() []*Metric {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Metric(nil), f.order...)
+}
+
+// Registry holds metric families and renders them for scraping. The zero
+// value is not usable; create one with NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*Family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*Family)}
+}
+
+// Register creates (or returns the existing) family with the given name,
+// help text, kind, and label keys. Re-registering a name with a different
+// shape panics: metric names must be stable.
+func (r *Registry) Register(name, help string, kind MetricKind, labelKeys ...string) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || len(f.labelKeys) != len(labelKeys) {
+			panic("obs: metric " + name + " re-registered with a different shape")
+		}
+		return f
+	}
+	f := &Family{
+		name: name, help: help, kind: kind,
+		labelKeys: append([]string(nil), labelKeys...),
+		children:  make(map[string]*Metric),
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Gauge registers (or fetches) an unlabeled gauge and returns its metric.
+func (r *Registry) Gauge(name, help string) *Metric {
+	return r.Register(name, help, KindGauge).M()
+}
+
+// Counter registers (or fetches) an unlabeled counter and returns its metric.
+func (r *Registry) Counter(name, help string) *Metric {
+	return r.Register(name, help, KindCounter).M()
+}
+
+// families returns the registered families sorted by name.
+func (r *Registry) families() []*Family {
+	r.mu.Lock()
+	fams := make([]*Family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// escapeHelp escapes a HELP text per the Prometheus text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatValue renders a sample value; Prometheus accepts Go's shortest
+// float representation plus the NaN/+Inf/-Inf spellings.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with its HELP/TYPE
+// header followed by one line per child.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.families() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		for _, m := range f.snapshot() {
+			var sb strings.Builder
+			sb.WriteString(f.name)
+			if len(f.labelKeys) > 0 {
+				sb.WriteByte('{')
+				for i, k := range f.labelKeys {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					fmt.Fprintf(&sb, `%s="%s"`, k, escapeLabel(m.labelValues[i]))
+				}
+				sb.WriteByte('}')
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", sb.String(), formatValue(m.Value())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteExpvar renders the registry as one JSON object in the spirit of
+// expvar's /debug/vars: unlabeled metrics map name -> value; labeled
+// metrics map name -> { "k=v,k=v" -> value }. Non-finite values render as
+// strings, since JSON has no encoding for them.
+func (r *Registry) WriteExpvar(w io.Writer) error {
+	doc := make(map[string]any)
+	for _, f := range r.families() {
+		if len(f.labelKeys) == 0 {
+			for _, m := range f.snapshot() {
+				doc[f.name] = jsonValue(m.Value())
+			}
+			continue
+		}
+		sub := make(map[string]any)
+		for _, m := range f.snapshot() {
+			parts := make([]string, len(f.labelKeys))
+			for i, k := range f.labelKeys {
+				parts[i] = k + "=" + m.labelValues[i]
+			}
+			sub[strings.Join(parts, ",")] = jsonValue(m.Value())
+		}
+		doc[f.name] = sub
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func jsonValue(v float64) any {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return formatValue(v)
+	}
+	return v
+}
+
+// Handler serves the Prometheus text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// ExpvarHandler serves the JSON export.
+func (r *Registry) ExpvarHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteExpvar(w)
+	})
+}

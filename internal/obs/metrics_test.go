@@ -1,0 +1,214 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"lazydram/internal/obs"
+)
+
+func testRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("lazysim_instructions_total", "Warp instructions retired").Set(1234)
+	r.Gauge("lazysim_ipc", "Cumulative instructions per core cycle").Set(2.015)
+	acts := r.Register("lazysim_bank_activations_total", "Row activations per channel and bank",
+		obs.KindCounter, "channel", "bank")
+	acts.With("0", "0").Set(10)
+	acts.With("0", "1").Set(20)
+	acts.With("1", "0").Set(30)
+	r.Register("lazysim_run_info", "Constant 1, labeled with the run's app and scheme",
+		obs.KindGauge, "app", "scheme").With("SCP", `Dyn-DMS+Dyn-AMS`).Set(1)
+	return r
+}
+
+// TestPrometheusGoldenFormat pins the exact exposition output: families
+// sorted by name, HELP/TYPE pairs, stable metric names, children in
+// creation order.
+func TestPrometheusGoldenFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := testRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP lazysim_bank_activations_total Row activations per channel and bank
+# TYPE lazysim_bank_activations_total counter
+lazysim_bank_activations_total{channel="0",bank="0"} 10
+lazysim_bank_activations_total{channel="0",bank="1"} 20
+lazysim_bank_activations_total{channel="1",bank="0"} 30
+# HELP lazysim_instructions_total Warp instructions retired
+# TYPE lazysim_instructions_total counter
+lazysim_instructions_total 1234
+# HELP lazysim_ipc Cumulative instructions per core cycle
+# TYPE lazysim_ipc gauge
+lazysim_ipc 2.015
+# HELP lazysim_run_info Constant 1, labeled with the run's app and scheme
+# TYPE lazysim_run_info gauge
+lazysim_run_info{app="SCP",scheme="Dyn-DMS+Dyn-AMS"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+var (
+	metricLineRE = regexp.MustCompile(
+		`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+	helpRE = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRE = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge)$`)
+)
+
+// TestPrometheusLineSyntax validates every emitted line against the text
+// exposition grammar, including awkward values and label escaping, and
+// checks each family carries a HELP/TYPE pair before its samples.
+func TestPrometheusLineSyntax(t *testing.T) {
+	r := testRegistry()
+	r.Gauge("awkward_nan", "not a number").Set(math.NaN())
+	r.Gauge("awkward_inf", "infinite").Set(math.Inf(1))
+	r.Register("awkward_labels", "label escaping", obs.KindGauge, "path").
+		With("a\"b\\c\nd").Set(-0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	var curFamily string
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	for i, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			m := helpRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed HELP: %q", i+1, line)
+			}
+			curFamily = m[1]
+			helped[curFamily] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			if m[1] != curFamily {
+				t.Fatalf("line %d: TYPE for %q under HELP for %q", i+1, m[1], curFamily)
+			}
+			typed[m[1]] = true
+		default:
+			if !metricLineRE.MatchString(line) {
+				t.Fatalf("line %d: invalid sample line: %q", i+1, line)
+			}
+			name := line
+			if cut := strings.IndexAny(line, "{ "); cut >= 0 {
+				name = line[:cut]
+			}
+			if name != curFamily {
+				t.Fatalf("line %d: sample %q outside its family block %q", i+1, name, curFamily)
+			}
+			if !helped[name] || !typed[name] {
+				t.Fatalf("line %d: sample %q before its HELP/TYPE pair", i+1, name)
+			}
+		}
+	}
+	for name := range helped {
+		if !typed[name] {
+			t.Errorf("family %q has HELP but no TYPE", name)
+		}
+	}
+}
+
+// TestExpvarExport: the JSON export mirrors the registry, with labeled
+// families nested and non-finite values stringified.
+func TestExpvarExport(t *testing.T) {
+	r := testRegistry()
+	r.Gauge("weird", "nan").Set(math.NaN())
+	var sb strings.Builder
+	if err := r.WriteExpvar(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("expvar export is not valid JSON: %v", err)
+	}
+	if got := doc["lazysim_ipc"]; got != 2.015 {
+		t.Errorf("lazysim_ipc = %v, want 2.015", got)
+	}
+	sub, ok := doc["lazysim_bank_activations_total"].(map[string]any)
+	if !ok {
+		t.Fatalf("labeled family not nested: %T", doc["lazysim_bank_activations_total"])
+	}
+	if got := sub["channel=0,bank=1"]; got != 20.0 {
+		t.Errorf("bank child = %v, want 20", got)
+	}
+	if got, ok := doc["weird"].(string); !ok || got != "NaN" {
+		t.Errorf("NaN exported as %v, want the string \"NaN\"", doc["weird"])
+	}
+}
+
+// TestRegistryHTTPHandlers scrapes both handlers over real HTTP.
+func TestRegistryHTTPHandlers(t *testing.T) {
+	r := testRegistry()
+	promSrv := httptest.NewServer(r.Handler())
+	defer promSrv.Close()
+	resp, err := promSrv.Client().Get(promSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prometheus content type %q", ct)
+	}
+	if !strings.Contains(string(body), "lazysim_ipc 2.015") {
+		t.Errorf("scrape missing lazysim_ipc:\n%s", body)
+	}
+
+	varSrv := httptest.NewServer(r.ExpvarHandler())
+	defer varSrv.Close()
+	resp, err = varSrv.Client().Get(varSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("vars endpoint not JSON: %v", err)
+	}
+	if _, ok := doc["lazysim_instructions_total"]; !ok {
+		t.Error("vars endpoint missing lazysim_instructions_total")
+	}
+}
+
+// TestMetricConcurrency: concurrent writers and scrapers must be safe (run
+// under -race) and Add must not lose increments.
+func TestMetricConcurrency(t *testing.T) {
+	r := obs.NewRegistry()
+	m := r.Counter("c", "concurrent counter")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Add(1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = r.WritePrometheus(io.Discard)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := m.Value(); got != 8000 {
+		t.Fatalf("lost updates: counter = %v, want 8000", got)
+	}
+}

@@ -135,11 +135,18 @@ type Options struct {
 	// TraceCapacity bounds the DRAM command ring buffer (0 disables the
 	// trace). When the buffer wraps, the oldest commands are overwritten.
 	TraceCapacity int
+	// Metrics, when non-nil, receives live run metrics (cycle counts, IPC,
+	// per-bank command counters, energy estimates) for concurrent scraping
+	// via the registry's Prometheus/expvar handlers.
+	Metrics *Registry
+	// MetricsEvery is the publication interval for Metrics in memory cycles
+	// (0 picks a default).
+	MetricsEvery uint64
 }
 
 // Enabled reports whether any feature is on.
 func (o Options) Enabled() bool {
-	return o.Latency || o.SampleEvery > 0 || o.TraceCapacity > 0
+	return o.Latency || o.SampleEvery > 0 || o.TraceCapacity > 0 || o.Metrics != nil
 }
 
 // Collector owns the per-run observability state. A nil *Collector (the
@@ -148,6 +155,7 @@ type Collector struct {
 	Tracer  *Tracer
 	Sampler *Sampler
 	Trace   *CmdTrace
+	Metrics *Registry
 }
 
 // NewCollector builds a collector for the options, or nil when everything is
@@ -166,6 +174,7 @@ func NewCollector(o Options) *Collector {
 	if o.TraceCapacity > 0 {
 		c.Trace = NewCmdTrace(o.TraceCapacity)
 	}
+	c.Metrics = o.Metrics
 	return c
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"lazydram/internal/approx"
 	"lazydram/internal/core"
+	"lazydram/internal/energy"
 	"lazydram/internal/icnt"
 	"lazydram/internal/mc"
 	"lazydram/internal/memimage"
@@ -29,6 +30,13 @@ type Result struct {
 	// disabled); Trace the raw DRAM command ring for file export.
 	Telemetry *obs.Telemetry
 	Trace     *obs.CmdTrace
+	// Channels holds one statistics snapshot per memory channel (deep
+	// copies, in channel order) — the unmerged channel × bank counter
+	// matrix behind Run.Mem's aggregates.
+	Channels []stats.Mem
+	// EnergyByChannel attributes the run's energy per channel and bank
+	// under the configured profile; its totals sum to Run.MemEnergy.
+	EnergyByChannel []energy.ChannelEnergy
 }
 
 // GPU is one fully wired simulated GPU executing one kernel. Partitions,
@@ -55,10 +63,12 @@ type GPU struct {
 	l1Misses   uint64
 
 	// Observability state; col is nil (and tr/sampler with it) when disabled,
-	// so the hot loop pays a single nil check per hook.
+	// so the hot loop pays a single nil check per hook. met publishes live
+	// metrics into the run's registry for concurrent scraping.
 	col     *obs.Collector
 	tr      *obs.Tracer
 	sampler *obs.Sampler
+	met     *gpuMetrics
 	prev    sampleState
 }
 
@@ -80,11 +90,15 @@ func NewGPU(cfg Config, scheme mc.Scheme, kern Kernel, im *memimage.Image) *GPU 
 		annot = nil // nothing is approximable without AMS
 	}
 	g.col = obs.NewCollector(cfg.Obs)
+	nParts := cfg.AddrMap.NumChannels
 	if g.col != nil {
 		g.tr = g.col.Tracer
 		g.sampler = g.col.Sampler
+		if g.col.Metrics != nil {
+			g.met = newGPUMetrics(g.col.Metrics, kern.Name(), scheme.Name(),
+				nParts, cfg.DRAM.NumBanks, cfg.Obs.MetricsEvery)
+		}
 	}
-	nParts := cfg.AddrMap.NumChannels
 	for p := 0; p < nParts; p++ {
 		g.partitions = append(g.partitions, newPartition(p, &g.cfg, im, annot, scheme, g.col))
 	}
@@ -134,6 +148,9 @@ func (g *GPU) retireSMs() {
 		g.l1Accesses += ls.Accesses
 		g.l1Misses += ls.Misses
 	}
+	// Folded SMs must not be counted again by live probes (probeSample,
+	// publishMetrics) between phases or at collect time.
+	g.sms = g.sms[:0]
 }
 
 func (g *GPU) runPhase() error {
@@ -153,6 +170,9 @@ func (g *GPU) runPhase() error {
 			g.memCycle++
 			if g.sampler != nil {
 				g.sampler.Tick(g.memCycle, g.probeSample)
+			}
+			if g.met != nil && g.memCycle%g.met.every == 0 {
+				g.publishMetrics()
 			}
 		}
 		g.coreCycle++
@@ -282,6 +302,7 @@ func (g *GPU) collect() *Result {
 	r.L1Misses = g.l1Misses
 	for _, p := range g.partitions {
 		p.drainStats()
+		res.Channels = append(res.Channels, p.st.Clone())
 		r.Mem.Merge(&p.st)
 		l2 := p.l2.Stats()
 		r.L2Accesses += l2.Accesses
@@ -307,12 +328,16 @@ func (g *GPU) collect() *Result {
 	prof := g.cfg.Energy
 	r.RowEnergy = prof.RowEnergyNJ(&r.Mem)
 	r.MemEnergy = prof.MemEnergyNJ(&r.Mem, g.memCycle, g.cfg.MemClockMHz*1e6, len(g.partitions))
+	res.EnergyByChannel = prof.Attribution(res.Channels, g.memCycle, g.cfg.MemClockMHz*1e6)
 	res.Output = g.kern.Output(g.im)
 	res.Image = g.im
 	if g.col != nil {
 		g.sampler.Flush(g.memCycle, g.probeSample)
 		res.Telemetry = g.col.Telemetry()
 		res.Trace = g.col.Trace
+	}
+	if g.met != nil {
+		g.publishMetrics() // final state, after the run has drained
 	}
 	return res
 }

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"strconv"
+
+	"lazydram/internal/obs"
+)
+
+// defaultMetricsEvery is the live-metrics publication interval in memory
+// cycles when Options.MetricsEvery is 0.
+const defaultMetricsEvery = 1024
+
+// gpuMetrics caches the registry children the GPU publishes into, so the
+// periodic publish is a walk over flat slices of atomic stores and the
+// scrape side never touches simulation state.
+type gpuMetrics struct {
+	every uint64
+
+	coreCycles *obs.Metric
+	memCycles  *obs.Metric
+	insts      *obs.Metric
+	ipc        *obs.Metric
+	bwutil     *obs.Metric
+	queueOcc   *obs.Metric
+	delay      *obs.Metric
+	thRBL      *obs.Metric
+	rowEnergy  *obs.Metric
+
+	chActs, chReads, chWrites, chDrops, chQueue []*obs.Metric
+
+	bankActs, bankHits, bankMisses, bankConfl,
+	bankDelay, bankDrops, bankRowE [][]*obs.Metric
+}
+
+func newGPUMetrics(reg *obs.Registry, app, scheme string, nch, nbanks int, every uint64) *gpuMetrics {
+	if every == 0 {
+		every = defaultMetricsEvery
+	}
+	m := &gpuMetrics{
+		every:      every,
+		coreCycles: reg.Counter("lazysim_core_cycles_total", "Core clock cycles simulated"),
+		memCycles:  reg.Counter("lazysim_mem_cycles_total", "Memory clock cycles simulated"),
+		insts:      reg.Counter("lazysim_instructions_total", "Warp instructions retired"),
+		ipc:        reg.Gauge("lazysim_ipc", "Cumulative instructions per core cycle"),
+		bwutil:     reg.Gauge("lazysim_bwutil", "Cumulative per-channel data-bus utilization"),
+		queueOcc:   reg.Gauge("lazysim_queue_occupancy", "Mean pending-queue occupancy per channel (instantaneous)"),
+		delay:      reg.Gauge("lazysim_dms_delay_cycles", "Largest in-force DMS delay across channels"),
+		thRBL:      reg.Gauge("lazysim_ams_th_rbl", "Largest in-force AMS Th_RBL across channels"),
+		rowEnergy:  reg.Gauge("lazysim_row_energy_nj", "Row energy spent so far under the configured profile"),
+	}
+	reg.Register("lazysim_run_info", "Constant 1, labeled with the run's app and scheme",
+		obs.KindGauge, "app", "scheme").With(app, scheme).Set(1)
+
+	chActs := reg.Register("lazysim_channel_activations_total", "Row activations per channel", obs.KindCounter, "channel")
+	chReads := reg.Register("lazysim_channel_reads_total", "DRAM column reads per channel", obs.KindCounter, "channel")
+	chWrites := reg.Register("lazysim_channel_writes_total", "DRAM column writes per channel", obs.KindCounter, "channel")
+	chDrops := reg.Register("lazysim_channel_ams_drops_total", "AMS-dropped read requests per channel", obs.KindCounter, "channel")
+	chQueue := reg.Register("lazysim_channel_queue_occupancy", "Pending-queue occupancy per channel (instantaneous)", obs.KindGauge, "channel")
+
+	bankLabels := []string{"channel", "bank"}
+	bActs := reg.Register("lazysim_bank_activations_total", "Row activations per channel and bank", obs.KindCounter, bankLabels...)
+	bHits := reg.Register("lazysim_bank_row_hits_total", "Row-buffer hits per channel and bank", obs.KindCounter, bankLabels...)
+	bMiss := reg.Register("lazysim_bank_row_misses_total", "Row-buffer misses per channel and bank", obs.KindCounter, bankLabels...)
+	bConf := reg.Register("lazysim_bank_row_conflicts_total", "Row-buffer conflicts per channel and bank", obs.KindCounter, bankLabels...)
+	bDelay := reg.Register("lazysim_bank_dms_delay_cycles_total", "Cycles the bank's oldest miss was held by the DMS age gate", obs.KindCounter, bankLabels...)
+	bDrops := reg.Register("lazysim_bank_ams_drops_total", "AMS-dropped read requests per channel and bank", obs.KindCounter, bankLabels...)
+	bRowE := reg.Register("lazysim_bank_row_energy_nj", "Row energy per channel and bank under the configured profile", obs.KindGauge, bankLabels...)
+
+	for c := 0; c < nch; c++ {
+		cl := strconv.Itoa(c)
+		m.chActs = append(m.chActs, chActs.With(cl))
+		m.chReads = append(m.chReads, chReads.With(cl))
+		m.chWrites = append(m.chWrites, chWrites.With(cl))
+		m.chDrops = append(m.chDrops, chDrops.With(cl))
+		m.chQueue = append(m.chQueue, chQueue.With(cl))
+		var acts, hits, misses, confl, delays, drops, rowE []*obs.Metric
+		for b := 0; b < nbanks; b++ {
+			bl := strconv.Itoa(b)
+			acts = append(acts, bActs.With(cl, bl))
+			hits = append(hits, bHits.With(cl, bl))
+			misses = append(misses, bMiss.With(cl, bl))
+			confl = append(confl, bConf.With(cl, bl))
+			delays = append(delays, bDelay.With(cl, bl))
+			drops = append(drops, bDrops.With(cl, bl))
+			rowE = append(rowE, bRowE.With(cl, bl))
+		}
+		m.bankActs = append(m.bankActs, acts)
+		m.bankHits = append(m.bankHits, hits)
+		m.bankMisses = append(m.bankMisses, misses)
+		m.bankConfl = append(m.bankConfl, confl)
+		m.bankDelay = append(m.bankDelay, delays)
+		m.bankDrops = append(m.bankDrops, drops)
+		m.bankRowE = append(m.bankRowE, rowE)
+	}
+	return m
+}
+
+// publishMetrics pushes the current simulation state into the registry.
+// It runs on the simulation goroutine; scrapers read the atomics
+// concurrently.
+func (g *GPU) publishMetrics() {
+	m := g.met
+	insts := g.insts
+	for _, s := range g.sms {
+		insts += s.Insts()
+	}
+	m.coreCycles.Set(float64(g.coreCycle))
+	m.memCycles.Set(float64(g.memCycle))
+	m.insts.Set(float64(insts))
+	if g.coreCycle > 0 {
+		m.ipc.Set(float64(insts) / float64(g.coreCycle))
+	}
+
+	var busy, acts, occ uint64
+	delay, th := 0, 0
+	actNJ := g.cfg.Energy.ActNJ
+	var rowNJ float64
+	for ci, p := range g.partitions {
+		busy += p.st.DataBusBusy
+		acts += p.st.Activations
+		occ += uint64(p.ctrl.Pending())
+		if d := p.ctrl.Delay(); d > delay {
+			delay = d
+		}
+		if t := p.ctrl.ThRBL(); t > th {
+			th = t
+		}
+		if ci < len(m.chActs) {
+			m.chActs[ci].Set(float64(p.st.Activations))
+			m.chReads[ci].Set(float64(p.st.Reads))
+			m.chWrites[ci].Set(float64(p.st.Writes))
+			m.chDrops[ci].Set(float64(p.st.Dropped))
+			m.chQueue[ci].Set(float64(p.ctrl.Pending()))
+		}
+		if ci < len(m.bankActs) {
+			banks := m.bankActs[ci]
+			for bi := range p.st.Banks {
+				if bi >= len(banks) {
+					break
+				}
+				b := &p.st.Banks[bi]
+				banks[bi].Set(float64(b.Activations))
+				m.bankHits[ci][bi].Set(float64(b.RowHits))
+				m.bankMisses[ci][bi].Set(float64(b.RowMisses))
+				m.bankConfl[ci][bi].Set(float64(b.RowConflicts))
+				m.bankDelay[ci][bi].Set(float64(b.DMSDelayCycles))
+				m.bankDrops[ci][bi].Set(float64(b.AMSDrops))
+				m.bankRowE[ci][bi].Set(float64(b.Activations) * actNJ)
+			}
+		}
+	}
+	rowNJ = float64(acts) * actNJ
+	m.rowEnergy.Set(rowNJ)
+	nch := uint64(len(g.partitions))
+	if nch > 0 {
+		m.queueOcc.Set(float64(occ) / float64(nch))
+		if g.memCycle > 0 {
+			m.bwutil.Set(float64(busy) / float64(g.memCycle*nch))
+		}
+	}
+	m.delay.Set(float64(delay))
+	m.thRBL.Set(float64(th))
+}

@@ -3,11 +3,14 @@ package sim_test
 import (
 	"bytes"
 	"encoding/json"
+	"math"
+	"reflect"
 	"testing"
 
 	"lazydram/internal/mc"
 	"lazydram/internal/obs"
 	"lazydram/internal/sim"
+	"lazydram/internal/stats"
 )
 
 // TestTelemetryEndToEnd runs a real workload with the full observability
@@ -99,6 +102,119 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	// The whole telemetry digest must round-trip through JSON.
 	if _, err := json.Marshal(tel); err != nil {
 		t.Fatalf("telemetry not serializable: %v", err)
+	}
+}
+
+// TestBankAttributionEndToEnd runs a full workload and checks the per-bank
+// counter matrix is an exact decomposition of the run: bank counters sum to
+// their channel's aggregates, the channel snapshots merge back into
+// Run.Mem, the per-channel energy attribution sums to Run.MemEnergy, and
+// the live metrics registry's final publish agrees with the stat block.
+func TestBankAttributionEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	res := simulate(t, "SCP", mc.DynBoth, func(cfg *sim.Config) {
+		cfg.Obs = obs.Options{Metrics: reg, MetricsEvery: 256}
+	})
+
+	if len(res.Channels) != res.Run.Mem.NumChannels {
+		t.Fatalf("channel snapshots %d, want %d", len(res.Channels), res.Run.Mem.NumChannels)
+	}
+
+	// Per channel: bank sums equal the channel aggregates, exactly.
+	var remerged stats.Mem
+	for c := range res.Channels {
+		ch := &res.Channels[c]
+		if err := ch.Validate(); err != nil {
+			t.Fatalf("channel %d snapshot invalid: %v", c, err)
+		}
+		bt := ch.BankTotals()
+		if bt.Activations != ch.Activations || bt.Reads != ch.Reads ||
+			bt.Writes != ch.Writes || bt.BusBusy != ch.DataBusBusy ||
+			bt.AMSDrops != ch.Dropped {
+			t.Fatalf("channel %d: bank totals %+v do not sum to channel aggregates", c, bt)
+		}
+		for b := range ch.Banks {
+			bk := &ch.Banks[b]
+			if bk.RowHits+bk.RowMisses+bk.RowConflicts != bk.Reads+bk.Writes {
+				t.Fatalf("ch%d.b%d: hit/miss/conflict %d+%d+%d != column accesses %d",
+					c, b, bk.RowHits, bk.RowMisses, bk.RowConflicts, bk.Reads+bk.Writes)
+			}
+		}
+		remerged.Merge(ch)
+	}
+
+	// The snapshots are the exact decomposition of the merged run stats.
+	if remerged.Activations != res.Run.Mem.Activations ||
+		remerged.Reads != res.Run.Mem.Reads ||
+		remerged.Writes != res.Run.Mem.Writes ||
+		remerged.Dropped != res.Run.Mem.Dropped {
+		t.Fatalf("remerged channels %+v != Run.Mem %+v", remerged, res.Run.Mem)
+	}
+	if !reflect.DeepEqual(remerged.Banks, res.Run.Mem.Banks) {
+		t.Fatal("remerged bank matrix differs from Run.Mem.Banks")
+	}
+	if res.Run.Mem.Activations == 0 {
+		t.Fatal("run performed no activations; test is vacuous")
+	}
+
+	// Energy attribution decomposes the aggregate model exactly.
+	if len(res.EnergyByChannel) != len(res.Channels) {
+		t.Fatalf("attribution covers %d channels, want %d",
+			len(res.EnergyByChannel), len(res.Channels))
+	}
+	var totalNJ, rowNJ float64
+	for _, ce := range res.EnergyByChannel {
+		totalNJ += ce.TotalNJ
+		rowNJ += ce.RowNJ
+	}
+	if math.Abs(totalNJ-res.Run.MemEnergy) > 1e-6*res.Run.MemEnergy {
+		t.Errorf("attribution total %v != Run.MemEnergy %v", totalNJ, res.Run.MemEnergy)
+	}
+	if math.Abs(rowNJ-res.Run.RowEnergy) > 1e-6*res.Run.RowEnergy {
+		t.Errorf("attribution row total %v != Run.RowEnergy %v", rowNJ, res.Run.RowEnergy)
+	}
+
+	// The registry's final publish reflects the finished run: sum the
+	// per-bank activation children via the expvar export and compare.
+	var buf bytes.Buffer
+	if err := reg.WriteExpvar(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &vars); err != nil {
+		t.Fatalf("expvar export invalid: %v", err)
+	}
+	bankActs, ok := vars["lazysim_bank_activations_total"].(map[string]any)
+	if !ok {
+		t.Fatal("registry missing lazysim_bank_activations_total")
+	}
+	var published float64
+	for _, v := range bankActs {
+		published += v.(float64)
+	}
+	if published != float64(res.Run.Mem.Activations) {
+		t.Errorf("registry bank activations %v != Run.Mem.Activations %d",
+			published, res.Run.Mem.Activations)
+	}
+	if got := vars["lazysim_instructions_total"]; got != float64(res.Run.Instructions) {
+		t.Errorf("registry instructions %v != Run.Instructions %d", got, res.Run.Instructions)
+	}
+	if got := vars["lazysim_ipc"]; got != res.Run.IPC() {
+		t.Errorf("registry ipc %v != Run.IPC %v", got, res.Run.IPC())
+	}
+}
+
+// TestMetricsDoNotPerturbRun: enabling the live registry must not change
+// simulation results.
+func TestMetricsDoNotPerturbRun(t *testing.T) {
+	off := simulate(t, "MVT", mc.DynBoth)
+	on := simulate(t, "MVT", mc.DynBoth, func(cfg *sim.Config) {
+		cfg.Obs = obs.Options{Metrics: obs.NewRegistry()}
+	})
+	if off.Run.CoreCycles != on.Run.CoreCycles ||
+		off.Run.Mem.Activations != on.Run.Mem.Activations ||
+		off.Run.AppError != on.Run.AppError {
+		t.Fatalf("metrics registry perturbed the run: %+v vs %+v", off.Run, on.Run)
 	}
 }
 

@@ -1,0 +1,170 @@
+package stats_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lazydram/internal/stats"
+)
+
+// bankedMem builds a consistent per-channel Mem whose bank matrix sums to
+// the channel aggregates, with pseudo-random counter placement.
+func bankedMem(rng *rand.Rand, banks int) stats.Mem {
+	var m stats.Mem
+	m.EnsureBanks(banks)
+	m.Cycles = 10_000
+	for b := 0; b < banks; b++ {
+		bk := m.Bank(b)
+		bk.Activations = uint64(rng.Intn(50))
+		bk.Precharges = bk.Activations / 2
+		bk.RowMisses = bk.Activations // first access of each activation
+		bk.RowHits = uint64(rng.Intn(200))
+		bk.RowConflicts = uint64(rng.Intn(10))
+		if bk.Activations == 0 {
+			bk.RowMisses, bk.RowConflicts, bk.RowHits = 0, 0, 0
+			bk.Precharges = 0
+		}
+		cols := bk.RowHits + bk.RowMisses + bk.RowConflicts
+		bk.Reads = cols / 2
+		bk.Writes = cols - bk.Reads
+		bk.BusBusy = cols * 2
+		bk.AMSDrops = uint64(rng.Intn(5))
+		bk.DMSDelayCycles = uint64(rng.Intn(1000))
+
+		m.Activations += bk.Activations
+		m.Reads += bk.Reads
+		m.Writes += bk.Writes
+		m.DataBusBusy += bk.BusBusy
+		m.Dropped += bk.AMSDrops
+	}
+	m.ReadReqs = m.Reads + m.Dropped
+	m.WriteReqs = m.Writes
+	m.QueueOccSum = m.ReadReqs + m.WriteReqs
+	return m
+}
+
+// TestBankMatrixValidate is a property-style check: any consistently built
+// bank matrix passes Validate, and perturbing any single bank counter that
+// participates in a sum invariant makes it fail.
+func TestBankMatrixValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := bankedMem(rng, 1+rng.Intn(16))
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: consistent banked Mem rejected: %v", trial, err)
+		}
+	}
+
+	perturbations := []struct {
+		name   string
+		mutate func(*stats.Bank)
+	}{
+		{"activations", func(b *stats.Bank) { b.Activations++ }},
+		{"reads", func(b *stats.Bank) { b.Reads++ }},
+		{"writes", func(b *stats.Bank) { b.Writes++ }},
+		{"bus-busy", func(b *stats.Bank) { b.BusBusy++ }},
+		{"ams-drops", func(b *stats.Bank) { b.AMSDrops++ }},
+		{"row-hits", func(b *stats.Bank) { b.RowHits++ }},
+	}
+	for _, p := range perturbations {
+		t.Run(p.name, func(t *testing.T) {
+			m := bankedMem(rng, 8)
+			p.mutate(m.Bank(3))
+			if m.Validate() == nil {
+				t.Fatalf("perturbed bank counter %q not caught", p.name)
+			}
+		})
+	}
+}
+
+// TestBankMergeSumsAndAssociativity: merging preserves the bank-vs-aggregate
+// invariant, sums element-wise, and is associative — (a+b)+c == a+(b+c) for
+// every counter including the bank matrix.
+func TestBankMergeSumsAndAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		a := bankedMem(rng, 4+rng.Intn(12))
+		b := bankedMem(rng, 4+rng.Intn(12))
+		c := bankedMem(rng, 4+rng.Intn(12))
+
+		// (a+b)+c
+		var ab stats.Mem
+		ab.Merge(&a)
+		ab.Merge(&b)
+		var abc1 stats.Mem
+		abc1.Merge(&ab)
+		abc1.Merge(&c)
+
+		// a+(b+c)
+		var bc stats.Mem
+		bc.Merge(&b)
+		bc.Merge(&c)
+		var abc2 stats.Mem
+		abc2.Merge(&a)
+		abc2.Merge(&bc)
+
+		if !reflect.DeepEqual(abc1.Banks, abc2.Banks) {
+			t.Fatalf("trial %d: bank merge not associative:\n(a+b)+c=%+v\na+(b+c)=%+v",
+				trial, abc1.Banks, abc2.Banks)
+		}
+		if abc1.Activations != abc2.Activations || abc1.NumChannels != abc2.NumChannels {
+			t.Fatalf("trial %d: aggregate merge not associative", trial)
+		}
+		if err := abc1.Validate(); err != nil {
+			t.Fatalf("trial %d: merged banked Mem rejected: %v", trial, err)
+		}
+
+		// Element-wise sums: merged bank i equals the sum over inputs.
+		tot := abc1.BankTotals()
+		want := a.BankTotals()
+		for _, x := range []stats.Mem{b, c} {
+			bt := x.BankTotals()
+			want.Activations += bt.Activations
+			want.Reads += bt.Reads
+			want.Writes += bt.Writes
+			want.Precharges += bt.Precharges
+			want.RowHits += bt.RowHits
+			want.RowMisses += bt.RowMisses
+			want.RowConflicts += bt.RowConflicts
+			want.BusBusy += bt.BusBusy
+			want.DMSDelayCycles += bt.DMSDelayCycles
+			want.AMSDrops += bt.AMSDrops
+		}
+		if tot != want {
+			t.Fatalf("trial %d: merged bank totals %+v != summed inputs %+v", trial, tot, want)
+		}
+	}
+}
+
+// TestCloneIsDeep: mutating a clone's bank matrix must not leak into the
+// original (sim.Result.Channels relies on this).
+func TestCloneIsDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := bankedMem(rng, 8)
+	c := m.Clone()
+	c.Bank(2).Activations += 100
+	if m.Bank(2).Activations == c.Bank(2).Activations {
+		t.Fatal("Clone shares the Banks slice with the original")
+	}
+	c2 := m.Clone()
+	if !reflect.DeepEqual(c2.Banks, m.Banks) {
+		t.Fatal("Clone did not copy bank counters")
+	}
+}
+
+// TestBankGrowsOnDemand: hand-built Mems need no explicit sizing.
+func TestBankGrowsOnDemand(t *testing.T) {
+	var m stats.Mem
+	m.Bank(5).AMSDrops = 3
+	if len(m.Banks) != 6 {
+		t.Fatalf("Banks grew to %d, want 6", len(m.Banks))
+	}
+	if m.Bank(5).AMSDrops != 3 {
+		t.Fatal("counter lost after growth")
+	}
+	m.EnsureBanks(4) // shrinking is a no-op
+	if len(m.Banks) != 6 {
+		t.Fatal("EnsureBanks shrank the matrix")
+	}
+}

@@ -52,6 +52,91 @@ type Mem struct {
 	// schemes' settled values.
 	DelaySum uint64
 	ThRBLSum uint64
+	// Banks is the per-bank counter matrix for this channel (nil until the
+	// DRAM layer calls EnsureBanks or Bank). In a merged Mem, bank i holds
+	// the element-wise sum of bank i across the merged channels; keep the
+	// unmerged per-channel Mems (sim.Result.Channels) for the full
+	// channel × bank matrix.
+	Banks []Bank
+}
+
+// Bank is one row of the per-bank counter matrix: where the channel's
+// commands, bus time, and scheduler decisions landed. The aggregate Mem
+// counters remain authoritative; Validate checks the matrix sums back to
+// them exactly.
+type Bank struct {
+	// Activations, Reads, Writes, and Precharges count the bank's ACT, RD,
+	// WR, and demand/idle PRE commands (refresh closes are not PREs).
+	Activations uint64 `json:"activations"`
+	Reads       uint64 `json:"reads"`
+	Writes      uint64 `json:"writes"`
+	Precharges  uint64 `json:"precharges"`
+	// RowHits, RowMisses and RowConflicts classify every column access:
+	// a hit reused the already-open row, a miss opened a row in an idle
+	// (precharged) bank, a conflict first had to close another row that the
+	// scheduler precharged on demand. Hits+Misses+Conflicts == Reads+Writes.
+	RowHits      uint64 `json:"row_hits"`
+	RowMisses    uint64 `json:"row_misses"`
+	RowConflicts uint64 `json:"row_conflicts"`
+	// BusBusy counts data-bus cycles spent on this bank's bursts.
+	BusBusy uint64 `json:"bus_busy"`
+	// DMSDelayCycles counts memory cycles the bank's oldest row-miss request
+	// was held back purely by the DMS age gate.
+	DMSDelayCycles uint64 `json:"dms_delay_cycles"`
+	// AMSDrops counts read requests to this bank dropped by AMS.
+	AMSDrops uint64 `json:"ams_drops"`
+}
+
+// add accumulates o into b.
+func (b *Bank) add(o *Bank) {
+	b.Activations += o.Activations
+	b.Reads += o.Reads
+	b.Writes += o.Writes
+	b.Precharges += o.Precharges
+	b.RowHits += o.RowHits
+	b.RowMisses += o.RowMisses
+	b.RowConflicts += o.RowConflicts
+	b.BusBusy += o.BusBusy
+	b.DMSDelayCycles += o.DMSDelayCycles
+	b.AMSDrops += o.AMSDrops
+}
+
+// EnsureBanks sizes the per-bank matrix for n banks, preserving existing
+// counters. The DRAM channel calls it once at construction.
+func (m *Mem) EnsureBanks(n int) {
+	if n <= len(m.Banks) {
+		return
+	}
+	nb := make([]Bank, n)
+	copy(nb, m.Banks)
+	m.Banks = nb
+}
+
+// Bank returns the counter row for bank i, growing the matrix on demand so
+// hand-built Mems in tests need no explicit sizing.
+func (m *Mem) Bank(i int) *Bank {
+	if i >= len(m.Banks) {
+		m.EnsureBanks(i + 1)
+	}
+	return &m.Banks[i]
+}
+
+// BankTotals sums the per-bank matrix into one Bank row.
+func (m *Mem) BankTotals() Bank {
+	var t Bank
+	for i := range m.Banks {
+		t.add(&m.Banks[i])
+	}
+	return t
+}
+
+// Clone returns a deep copy of m (the Banks slice is not shared).
+func (m *Mem) Clone() Mem {
+	c := *m
+	if m.Banks != nil {
+		c.Banks = append([]Bank(nil), m.Banks...)
+	}
+	return c
 }
 
 // RecordActivationClose records that a row activation served n requests, r of
@@ -194,6 +279,12 @@ func (m *Mem) Merge(o *Mem) {
 	m.QueueOccSum += o.QueueOccSum
 	m.DelaySum += o.DelaySum
 	m.ThRBLSum += o.ThRBLSum
+	if len(o.Banks) > 0 {
+		m.EnsureBanks(len(o.Banks))
+		for i := range o.Banks {
+			m.Banks[i].add(&o.Banks[i])
+		}
+	}
 }
 
 // Validate checks the internal consistency invariants that hold for any Mem
@@ -252,6 +343,37 @@ func (m *Mem) Validate() error {
 	// queue size is unknown here, but occupancy can never exceed arrivals).
 	if m.QueueOccSum > 0 && m.ReadReqs+m.WriteReqs == 0 {
 		fail("QueueOccSum %d with no arrived requests", m.QueueOccSum)
+	}
+	// The per-bank matrix, when tracked, must sum exactly to the channel
+	// aggregates, and each bank's hit/miss/conflict classification must
+	// account for every column access it issued.
+	if len(m.Banks) > 0 {
+		t := m.BankTotals()
+		if t.Activations != m.Activations {
+			fail("bank Activations sum %d != Activations %d", t.Activations, m.Activations)
+		}
+		if t.Reads != m.Reads {
+			fail("bank Reads sum %d != Reads %d", t.Reads, m.Reads)
+		}
+		if t.Writes != m.Writes {
+			fail("bank Writes sum %d != Writes %d", t.Writes, m.Writes)
+		}
+		if t.BusBusy != m.DataBusBusy {
+			fail("bank BusBusy sum %d != DataBusBusy %d", t.BusBusy, m.DataBusBusy)
+		}
+		if t.AMSDrops != m.Dropped {
+			fail("bank AMSDrops sum %d != Dropped %d", t.AMSDrops, m.Dropped)
+		}
+		for i := range m.Banks {
+			b := &m.Banks[i]
+			if b.RowHits+b.RowMisses+b.RowConflicts != b.Reads+b.Writes {
+				fail("bank %d: hits+misses+conflicts %d != reads+writes %d",
+					i, b.RowHits+b.RowMisses+b.RowConflicts, b.Reads+b.Writes)
+			}
+			if b.Precharges > b.Activations {
+				fail("bank %d: Precharges %d > Activations %d", i, b.Precharges, b.Activations)
+			}
+		}
 	}
 	if len(errs) == 0 {
 		return nil
