@@ -273,5 +273,18 @@ func benchTelemetry(b *testing.B, o obs.Options) {
 func BenchmarkTelemetryOff(b *testing.B) { benchTelemetry(b, obs.Options{}) }
 
 func BenchmarkTelemetryOn(b *testing.B) {
-	benchTelemetry(b, obs.Options{Latency: true, SampleEvery: 1024, TraceCapacity: 1 << 16})
+	benchTelemetry(b, obs.Options{
+		Latency:       true,
+		SampleEvery:   1024,
+		TraceCapacity: 1 << 16,
+		AuditCapacity: 1 << 14,
+		Quality:       true,
+	})
+}
+
+// BenchmarkTelemetryAuditQuality isolates the decision-audit and
+// quality-scoring hooks added on top of the PR-1 telemetry; compare against
+// BenchmarkTelemetryOff to verify they stay under the 2% overhead budget.
+func BenchmarkTelemetryAuditQuality(b *testing.B) {
+	benchTelemetry(b, obs.Options{AuditCapacity: 1 << 14, Quality: true})
 }

@@ -19,6 +19,11 @@
 //	-report-only    always exit 0; print and emit deltas only
 //	-fail-on-new    treat metrics present in only one document as failures
 //
+// Non-finite values (NaN, ±Inf — numbers or their string encodings, which
+// delta documents and expvar produce) are excluded from the gate with a
+// warning: they can neither silently pass an exact-match comparison nor
+// emit an unparsable delta.
+//
 // Exit status: 0 all metrics within thresholds, 1 regression detected,
 // 2 usage or input error.
 package main
@@ -63,15 +68,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	basePath, candPath := fs.Arg(0), fs.Arg(1)
-	base, err := loadMetrics(basePath)
+	base, baseSkipped, err := loadMetrics(basePath)
 	if err != nil {
 		fmt.Fprintln(stderr, "lazycmp:", err)
 		return 2
 	}
-	cand, err := loadMetrics(candPath)
+	cand, candSkipped, err := loadMetrics(candPath)
 	if err != nil {
 		fmt.Fprintln(stderr, "lazycmp:", err)
 		return 2
+	}
+	for _, n := range baseSkipped {
+		fmt.Fprintf(stderr, "lazycmp: warning: %s: skipping non-finite metric %s\n", basePath, n)
+	}
+	for _, n := range candSkipped {
+		fmt.Fprintf(stderr, "lazycmp: warning: %s: skipping non-finite metric %s\n", candPath, n)
 	}
 
 	doc := compare(base, cand, cmpConfig{maxRel: *maxRel, minAbs: *minAbs, overrides: th})
@@ -109,31 +120,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // loadMetrics reads one lazysim -json document and flattens it to
-// name -> value.
-func loadMetrics(path string) (map[string]float64, error) {
+// name -> value, also returning the names of non-finite metrics it refused.
+func loadMetrics(path string) (map[string]float64, []string, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var doc map[string]any
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return flatten(doc), nil
+	out, skipped := flatten(doc)
+	return out, skipped, nil
+}
+
+// numeric coerces a JSON value to a float: numbers directly, strings parsed
+// (delta documents and the expvar exposition encode NaN/±Inf as strings).
+func numeric(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case string:
+		f, err := strconv.ParseFloat(x, 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
 }
 
 // flatten extracts the comparable numeric metrics from a report document:
 // top-level scalars (minus run identity and wall time), per-stage latency
-// digests keyed by stage name, and the per-channel energy attribution.
-// Time series, per-bank rows, and the hottest-bank summary are derived
-// views and stay out of the gate.
-func flatten(doc map[string]any) map[string]float64 {
-	out := make(map[string]float64)
+// digests keyed by stage name, the per-channel energy attribution, and the
+// audit/quality digests. Time series, per-bank rows, and the hottest-bank
+// summary are derived views and stay out of the gate. Non-finite values are
+// diverted to the skipped list instead of entering the comparable set,
+// where a NaN would neither equal itself (silent pass under exact-match)
+// nor render as valid JSON in the delta document.
+func flatten(doc map[string]any) (out map[string]float64, skipped []string) {
+	out = make(map[string]float64)
+	put := func(name string, v any) {
+		x, ok := numeric(v)
+		if !ok {
+			return
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			skipped = append(skipped, name)
+			return
+		}
+		out[name] = x
+	}
 	for k, v := range doc {
 		switch k {
 		case "seed", "wall_ms", "hottest_banks":
 			// seed is identity, wall time is noise, hottest banks are a
 			// derived top-N whose membership may flap on ties.
+		case "app", "scheme":
+			// run identity, not metrics
 		case "energy_by_channel":
 			arr, _ := v.([]any)
 			for _, e := range arr {
@@ -146,8 +190,8 @@ func flatten(doc map[string]any) map[string]float64 {
 					continue
 				}
 				for _, f := range []string{"row_nj", "access_nj", "background_nj", "total_nj"} {
-					if x, ok := m[f].(float64); ok {
-						out[fmt.Sprintf("energy.ch%d.%s", int(ch), f)] = x
+					if x, ok := m[f]; ok {
+						put(fmt.Sprintf("energy.ch%d.%s", int(ch), f), x)
 					}
 				}
 			}
@@ -164,18 +208,45 @@ func flatten(doc map[string]any) map[string]float64 {
 					continue
 				}
 				for _, f := range []string{"count", "mean", "p50", "p90", "p99", "max"} {
-					if x, ok := sm[f].(float64); ok {
-						out["stage."+name+"."+f] = x
+					if x, ok := sm[f]; ok {
+						put("stage."+name+"."+f, x)
+					}
+				}
+			}
+			if am, ok := m["audit"].(map[string]any); ok {
+				for _, f := range []string{"total", "dms_delay_holds", "dms_delay_expiries", "ams_drops", "ams_skips"} {
+					if x, ok := am[f]; ok {
+						put("audit."+f, x)
+					}
+				}
+				reasons, _ := am["reasons"].([]any)
+				for _, rv := range reasons {
+					rm, ok := rv.(map[string]any)
+					if !ok {
+						continue
+					}
+					unit, _ := rm["unit"].(string)
+					reason, _ := rm["reason"].(string)
+					if unit == "" || reason == "" {
+						continue
+					}
+					put("audit."+unit+"."+reason, rm["count"])
+				}
+			}
+			if qm, ok := m["quality"].(map[string]any); ok {
+				for _, f := range []string{"lines", "words", "skipped_words",
+					"mean_abs_error", "mean_rel_error",
+					"rel_p50", "rel_p90", "rel_p99", "max_rel_error"} {
+					if x, ok := qm[f]; ok {
+						put("quality."+f, x)
 					}
 				}
 			}
 		default:
-			if x, ok := v.(float64); ok {
-				out[k] = x
-			}
+			put(k, v)
 		}
 	}
-	return out
+	return out, skipped
 }
 
 // thresholdRule is one "-thresholds" entry; Pattern with a trailing *
@@ -234,7 +305,8 @@ type MetricDelta struct {
 	// change from exactly zero and marshals as a string.
 	Rel       float64 `json:"-"`
 	Threshold float64 `json:"threshold"`
-	// Status is "ok", "fail", "baseline-only", or "candidate-only".
+	// Status is "ok", "fail", "skipped" (non-finite on either side),
+	// "baseline-only", or "candidate-only".
 	Status string `json:"status"`
 }
 
@@ -258,6 +330,7 @@ type DeltaDoc struct {
 	Compared  int           `json:"compared"`
 	Failed    int           `json:"failed"`
 	Unmatched int           `json:"unmatched"`
+	Skipped   int           `json:"skipped,omitempty"`
 	Metrics   []MetricDelta `json:"metrics"`
 }
 
@@ -294,6 +367,12 @@ func compare(base, cand map[string]float64, cfg cmpConfig) DeltaDoc {
 		case !inB:
 			d.Status = "baseline-only"
 			doc.Unmatched++
+		case math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0):
+			// flatten never admits non-finite values, but callers composing
+			// maps directly get the same protection: a NaN comparison is
+			// false either way, which would read as a silent pass.
+			d.Status = "skipped"
+			doc.Skipped++
 		default:
 			doc.Compared++
 			d.Delta = b - a
@@ -336,6 +415,10 @@ func printTable(w io.Writer, doc DeltaDoc) {
 		fmt.Fprintf(w, "%-36s %14.6g %14.6g %+14.6g %9s  %s\n",
 			d.Name, d.Baseline, d.Candidate, d.Delta, rel, d.Status)
 	}
-	fmt.Fprintf(w, "compared %d metrics: %d failed, %d unmatched\n",
+	fmt.Fprintf(w, "compared %d metrics: %d failed, %d unmatched",
 		doc.Compared, doc.Failed, doc.Unmatched)
+	if doc.Skipped > 0 {
+		fmt.Fprintf(w, ", %d skipped (non-finite)", doc.Skipped)
+	}
+	fmt.Fprintln(w)
 }

@@ -23,7 +23,23 @@ const sampleReport = `{
 		"stages": [
 			{"stage": "mc.queue", "count": 10, "mean": 5.5, "p50": 5, "p90": 9, "p99": 10, "max": 12}
 		],
-		"series": [{"mem_cycle": 1024}]
+		"series": [{"mem_cycle": 1024}],
+		"audit": {
+			"total": 120, "dms_delay_holds": 70, "dms_delay_expiries": 10,
+			"ams_drops": 25, "ams_skips": 15,
+			"reasons": [
+				{"unit": "dms", "kind": "delay", "reason": "delay-hold", "count": 70},
+				{"unit": "ams", "kind": "drop", "reason": "drop", "count": 25},
+				{"unit": "ams", "kind": "skip", "reason": "row-open", "count": 15}
+			],
+			"adapt": [{"cycle": 1024, "unit": "ams", "th_rbl": 7}]
+		},
+		"quality": {
+			"lines": 25, "words": 800, "mean_abs_error": 0.5,
+			"mean_rel_error": 0.01, "rel_p50": 0.001, "rel_p99": 0.2,
+			"max_rel_error": 1.5,
+			"worst": [{"addr": 4096, "mean_rel": 1.5}]
+		}
 	}
 }`
 
@@ -32,16 +48,28 @@ func TestFlatten(t *testing.T) {
 	if err := json.Unmarshal([]byte(sampleReport), &doc); err != nil {
 		t.Fatal(err)
 	}
-	m := flatten(doc)
+	m, skipped := flatten(doc)
+	if len(skipped) != 0 {
+		t.Fatalf("unexpected skipped metrics: %v", skipped)
+	}
 
 	for name, want := range map[string]float64{
-		"ipc":                 2.0153,
-		"activations":         31549,
-		"row_energy_nj":       709852.5,
-		"energy.ch0.row_nj":   100,
-		"energy.ch0.total_nj": 175,
-		"stage.mc.queue.p99":  10,
-		"stage.mc.queue.mean": 5.5,
+		"ipc":                    2.0153,
+		"activations":            31549,
+		"row_energy_nj":          709852.5,
+		"energy.ch0.row_nj":      100,
+		"energy.ch0.total_nj":    175,
+		"stage.mc.queue.p99":     10,
+		"stage.mc.queue.mean":    5.5,
+		"audit.total":            120,
+		"audit.dms_delay_holds":  70,
+		"audit.ams_drops":        25,
+		"audit.dms.delay-hold":   70,
+		"audit.ams.drop":         25,
+		"audit.ams.row-open":     15,
+		"quality.lines":          25,
+		"quality.mean_rel_error": 0.01,
+		"quality.rel_p99":        0.2,
 	} {
 		if got, ok := m[name]; !ok || got != want {
 			t.Errorf("flatten[%q] = %v (present=%v), want %v", name, got, ok, want)
@@ -185,6 +213,71 @@ func TestRunExitCodes(t *testing.T) {
 		if m.Delta != 0 {
 			t.Fatalf("self-diff has nonzero delta for %s: %v", m.Name, m.Delta)
 		}
+	}
+}
+
+// TestFlattenNonFinite: NaN/Inf values — raw or string-encoded as expvar and
+// delta documents emit them — must be diverted to the skip list, never into
+// the comparable set, while finite string-encoded numbers are parsed.
+func TestFlattenNonFinite(t *testing.T) {
+	doc := map[string]any{
+		"app_error": "NaN",
+		"bwutil":    "+Inf",
+		"ipc":       math.Inf(-1),
+		"reads":     "123",
+		"scheme":    "Baseline",
+	}
+	m, skipped := flatten(doc)
+	if got := len(skipped); got != 3 {
+		t.Fatalf("skipped = %v, want 3 entries", skipped)
+	}
+	for _, name := range []string{"app_error", "bwutil", "ipc"} {
+		if _, ok := m[name]; ok {
+			t.Errorf("non-finite %q entered the comparable set", name)
+		}
+	}
+	if got := m["reads"]; got != 123 {
+		t.Errorf("string-encoded finite number: got %v, want 123", got)
+	}
+	if _, ok := m["scheme"]; ok {
+		t.Error("non-numeric string leaked into the comparable set")
+	}
+}
+
+// TestCompareSkipsNonFinite: a NaN handed straight to compare must surface
+// as a skipped row, not a silent pass (NaN comparisons are always false, so
+// the threshold check would otherwise report "ok").
+func TestCompareSkipsNonFinite(t *testing.T) {
+	base := map[string]float64{"x": math.NaN(), "y": 1, "z": math.Inf(1)}
+	cand := map[string]float64{"x": 5, "y": 1, "z": math.Inf(1)}
+	doc := compare(base, cand, cmpConfig{})
+	if doc.Skipped != 2 || doc.Compared != 1 || doc.Failed != 0 {
+		t.Fatalf("skipped=%d compared=%d failed=%d, want 2/1/0",
+			doc.Skipped, doc.Compared, doc.Failed)
+	}
+	for _, d := range doc.Metrics {
+		if (d.Name == "x" || d.Name == "z") && d.Status != "skipped" {
+			t.Errorf("%s status = %s, want skipped", d.Name, d.Status)
+		}
+	}
+}
+
+// TestRunWarnsOnNonFinite: end-to-end, a NaN metric is excluded with a
+// warning on stderr and does not flip the exit status either way.
+func TestRunWarnsOnNonFinite(t *testing.T) {
+	dir := t.TempDir()
+	nan := strings.Replace(sampleReport, `"ipc": 2.0153`, `"ipc": "NaN"`, 1)
+	a := writeDoc(t, dir, "nan-a.json", nan)
+	b := writeDoc(t, dir, "nan-b.json", nan)
+	var out, errBuf bytes.Buffer
+	if got := run([]string{a, b}, &out, &errBuf); got != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", got, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "skipping non-finite metric ipc") {
+		t.Fatalf("missing warning, stderr:\n%s", errBuf.String())
+	}
+	if strings.Contains(out.String(), "\nipc ") {
+		t.Fatalf("ipc still in the table:\n%s", out.String())
 	}
 }
 

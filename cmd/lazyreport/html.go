@@ -1,0 +1,474 @@
+package main
+
+// HTML assembly. One self-contained page: inline <style> only, inline SVG
+// only, no scripts, no fonts, no fetches. Light and dark render from the
+// same markup via CSS custom properties (prefers-color-scheme plus an
+// explicit data-theme override hook).
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+const pageCSS = `
+:root {
+  color-scheme: light dark;
+  --bg: #fcfcfb; --surface: #ffffff;
+  --text: #0b0b0b; --text-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --hairline: #e1e0d9;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+  --q0:#cde2fb; --q1:#b7d3f6; --q2:#9ec5f4; --q3:#86b6ef; --q4:#6da7ec;
+  --q5:#5598e7; --q6:#3987e5; --q7:#2a78d6; --q8:#1c5cab; --q9:#184f95;
+  --q10:#104281; --q11:#0d366b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --bg: #1a1a19; --surface: #232322;
+    --text: #ffffff; --text-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --hairline: #2c2c2a;
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+  }
+}
+[data-theme="dark"] {
+  --bg: #1a1a19; --surface: #232322;
+  --text: #ffffff; --text-2: #c3c2b7; --muted: #898781;
+  --grid: #2c2c2a; --axis: #383835; --hairline: #2c2c2a;
+  --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0 auto; padding: 24px 28px 64px; max-width: 1200px;
+  background: var(--bg); color: var(--text);
+  font: 14px/1.45 system-ui, sans-serif;
+  font-variant-numeric: tabular-nums;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 0 0 2px; }
+.sub { color: var(--text-2); margin: 0 0 20px; }
+section {
+  background: var(--surface); border: 1px solid var(--hairline);
+  border-radius: 8px; padding: 16px 18px; margin: 0 0 16px;
+}
+.cap { color: var(--muted); font-size: 12px; margin: 0 0 10px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin: 10px 0; }
+.tile {
+  border: 1px solid var(--hairline); border-radius: 6px;
+  padding: 8px 14px; min-width: 110px;
+}
+.tile b { display: block; font-size: 18px; font-weight: 600; }
+.tile span { color: var(--muted); font-size: 11px; }
+.minis { display: flex; flex-wrap: wrap; gap: 14px; }
+figure.mini { margin: 0; }
+figcaption { color: var(--text-2); font-size: 12px; margin-bottom: 2px; }
+.legend { display: flex; gap: 16px; color: var(--text-2); font-size: 12px; margin: 4px 0 8px; }
+.legend i {
+  display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+  margin-right: 5px;
+}
+.legend .s1 { background: var(--s1); } .legend .s2 { background: var(--s2); }
+.legend .s3 { background: var(--s3); }
+table { border-collapse: collapse; margin: 8px 0; }
+th, td { padding: 4px 12px 4px 0; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { color: var(--muted); font-weight: 500; font-size: 12px; border-bottom: 1px solid var(--hairline); }
+td { border-bottom: 1px solid var(--hairline); }
+svg { display: block; max-width: 100%; }
+svg text { font: 11px system-ui, sans-serif; fill: var(--muted); }
+svg text.lbl { fill: var(--text-2); }
+svg text.val { fill: var(--text-2); }
+line.grid { stroke: var(--grid); stroke-width: 1; }
+line.axis { stroke: var(--axis); stroke-width: 1; }
+.line { fill: none; stroke-width: 2; }
+.line.ls1 { stroke: var(--s1); } .line.ls2 { stroke: var(--s2); }
+.line.ls3 { stroke: var(--s3); }
+.bar.s1 { fill: var(--s1); } .bar.s2 { fill: var(--s2); } .bar.s3 { fill: var(--s3); }
+.q0{fill:var(--q0)}.q1{fill:var(--q1)}.q2{fill:var(--q2)}.q3{fill:var(--q3)}
+.q4{fill:var(--q4)}.q5{fill:var(--q5)}.q6{fill:var(--q6)}.q7{fill:var(--q7)}
+.q8{fill:var(--q8)}.q9{fill:var(--q9)}.q10{fill:var(--q10)}.q11{fill:var(--q11)}
+`
+
+func buildHTML(docs []*runDoc) string {
+	var b strings.Builder
+	b.WriteString("<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	b.WriteString("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n")
+	title := "lazysim report"
+	if len(docs) == 2 {
+		title = "lazysim comparison"
+	}
+	fmt.Fprintf(&b, "<title>%s</title>\n<style>%s</style>\n</head>\n<body>\n", esc(title), pageCSS)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(title))
+	var names []string
+	for _, d := range docs {
+		names = append(names, d.title())
+	}
+	fmt.Fprintf(&b, "<p class=\"sub\">%s</p>\n", esc(strings.Join(names, "  vs  ")))
+	if len(docs) == 2 {
+		writeComparison(&b, docs[0], docs[1])
+	}
+	for _, d := range docs {
+		writeDoc(&b, d, len(docs) > 1)
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// --- shared fragments -------------------------------------------------------
+
+type tile struct{ Label, Value string }
+
+func writeTiles(b *strings.Builder, ts []tile) {
+	b.WriteString(`<div class="tiles">`)
+	for _, t := range ts {
+		fmt.Fprintf(b, `<div class="tile"><b>%s</b><span>%s</span></div>`, esc(t.Value), esc(t.Label))
+	}
+	b.WriteString("</div>\n")
+}
+
+func writeTable(b *strings.Builder, headers []string, rows [][]string) {
+	b.WriteString("<table><tr>")
+	for _, h := range headers {
+		fmt.Fprintf(b, "<th>%s</th>", esc(h))
+	}
+	b.WriteString("</tr>\n")
+	for _, r := range rows {
+		b.WriteString("<tr>")
+		for _, c := range r {
+			fmt.Fprintf(b, "<td>%s</td>", esc(c))
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+}
+
+func openSection(b *strings.Builder, title, caption string) {
+	fmt.Fprintf(b, "<section>\n<h2>%s</h2>\n", esc(title))
+	if caption != "" {
+		fmt.Fprintf(b, "<p class=\"cap\">%s</p>\n", esc(caption))
+	}
+}
+
+func mini(b *strings.Builder, caption, svg string) {
+	if svg == "" {
+		return
+	}
+	fmt.Fprintf(b, "<figure class=\"mini\"><figcaption>%s</figcaption>%s</figure>\n", esc(caption), svg)
+}
+
+// --- per-document sections --------------------------------------------------
+
+func writeDoc(b *strings.Builder, d *runDoc, named bool) {
+	suffix := ""
+	if named {
+		suffix = " — " + d.title()
+	}
+
+	openSection(b, "Run summary"+suffix, "")
+	writeTiles(b, []tile{
+		{"IPC", fnum(d.IPC)},
+		{"BW utilisation", fnum(d.BWUtil)},
+		{"AMS coverage", fnum(d.Coverage)},
+		{"app error", fnum(d.AppError)},
+		{"row energy (nJ)", fnum(d.RowEnergyNJ)},
+		{"mem energy (nJ)", fnum(d.MemEnergyNJ)},
+		{"activations", fnum(float64(d.Activations))},
+		{"dropped reads", fnum(float64(d.Dropped))},
+	})
+	writeTable(b, []string{"core cycles", "instructions", "reads", "writes", "avg RBL", "queue occ", "mean delay", "final delay", "mean thRBL", "final thRBL"},
+		[][]string{{
+			fnum(float64(d.CoreCycles)), fnum(float64(d.Instructions)),
+			fnum(float64(d.Reads)), fnum(float64(d.Writes)),
+			fnum(d.AvgRBL), fnum(d.QueueOcc),
+			fnum(d.MeanDelay), fnum(float64(d.FinalDelay)),
+			fnum(d.MeanThRBL), fnum(float64(d.FinalThRBL)),
+		}})
+	b.WriteString("</section>\n")
+
+	t := d.Telemetry
+	if t != nil && t.Audit != nil {
+		writeAuditSection(b, t.Audit, suffix)
+		writeAdaptSection(b, t.Audit, suffix)
+	}
+	if t != nil && len(t.Series) > 0 {
+		writeSeriesSection(b, t, suffix)
+	}
+	if t != nil && len(t.Stages) > 0 {
+		writeStagesSection(b, t.Stages, suffix)
+	}
+	writeHeatmapSection(b, d, suffix)
+	if t != nil && t.Quality != nil {
+		writeQualitySection(b, t.Quality, suffix)
+	}
+}
+
+func writeAuditSection(b *strings.Builder, a *auditSummary, suffix string) {
+	openSection(b, "Scheduler decisions"+suffix,
+		"Every DMS delay hold/expiry and AMS drop/skip the memory controllers recorded, grouped by reason.")
+	writeTiles(b, []tile{
+		{"decisions", fnum(float64(a.Total))},
+		{"DMS delay holds", fnum(float64(a.DMSDelayHolds))},
+		{"DMS delay expiries", fnum(float64(a.DMSDelayExpiries))},
+		{"AMS drops", fnum(float64(a.AMSDrops))},
+		{"AMS skips", fnum(float64(a.AMSSkips))},
+	})
+	if len(a.Reasons) > 0 {
+		b.WriteString(`<div class="legend"><span><i class="s1"></i>DMS</span><span><i class="s2"></i>AMS</span></div>` + "\n")
+		rows := make([]barRow, 0, len(a.Reasons))
+		for _, r := range a.Reasons {
+			cls := "s1"
+			if r.Unit == "ams" {
+				cls = "s2"
+			}
+			rows = append(rows, barRow{
+				Label: r.Unit + " · " + r.Reason,
+				Value: float64(r.Count),
+				Class: cls,
+				Note:  r.Kind,
+			})
+		}
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].Value > rows[j].Value })
+		b.WriteString(barChart(rows))
+	}
+	b.WriteString("</section>\n")
+}
+
+func writeAdaptSection(b *strings.Builder, a *auditSummary, suffix string) {
+	if len(a.Adapt) == 0 {
+		return
+	}
+	// Adaptation is near-identical across channels; plot the lowest channel
+	// present to keep each panel a single unambiguous series.
+	ch := a.Adapt[0].Channel
+	for _, p := range a.Adapt {
+		if p.Channel < ch {
+			ch = p.Channel
+		}
+	}
+	var delay, bw, th, cov []pt
+	for _, p := range a.Adapt {
+		if p.Channel != ch {
+			continue
+		}
+		x := float64(p.Cycle)
+		switch p.Unit {
+		case "dms":
+			delay = append(delay, pt{x, p.Delay})
+			bw = append(bw, pt{x, p.BWUtil})
+		case "ams":
+			th = append(th, pt{x, p.ThRBL})
+			cov = append(cov, pt{x, p.Coverage})
+		}
+	}
+	openSection(b, "Dyn adaptation"+suffix,
+		fmt.Sprintf("Per-window controller state on channel %d (one point per profile window).", ch))
+	b.WriteString(`<div class="minis">`)
+	if len(delay) > 0 {
+		mini(b, "DMS delay (mem cycles)", lineChart([]series{{"DMS delay", "ls1", delay}}, nil, nil))
+		mini(b, "DMS window BW utilisation", lineChart([]series{{"BW util", "ls1", bw}}, nil, nil))
+	}
+	if len(th) > 0 {
+		mini(b, "AMS thRBL", lineChart([]series{{"thRBL", "ls2", th}}, nil, nil))
+		mini(b, "AMS running coverage", lineChart([]series{{"coverage", "ls2", cov}}, nil, nil))
+	}
+	b.WriteString("</div>\n</section>\n")
+}
+
+func writeSeriesSection(b *strings.Builder, t *telemetry, suffix string) {
+	var ipc, bw, occ []pt
+	for _, s := range t.Series {
+		x := float64(s.MemCycle)
+		ipc = append(ipc, pt{x, s.IPC})
+		bw = append(bw, pt{x, s.BWUtil})
+		occ = append(occ, pt{x, s.QueueOcc})
+	}
+	openSection(b, "Time series"+suffix,
+		fmt.Sprintf("Sampled every %d mem cycles over the run (x axis: mem cycle).", t.SampleEvery))
+	b.WriteString(`<div class="minis">`)
+	mini(b, "IPC", lineChart([]series{{"IPC", "ls1", ipc}}, nil, nil))
+	mini(b, "BW utilisation", lineChart([]series{{"BW util", "ls1", bw}}, nil, nil))
+	mini(b, "queue occupancy", lineChart([]series{{"queue occ", "ls1", occ}}, nil, nil))
+	b.WriteString("</div>\n</section>\n")
+}
+
+func writeStagesSection(b *strings.Builder, stages []stageSummary, suffix string) {
+	openSection(b, "Request latency by stage"+suffix,
+		"Empirical CDF per lifecycle stage from the traced quantiles (x axis: latency in the stage's clock, log scale).")
+	xf := func(x float64) string { return fnum(math.Pow(10, x)) }
+	b.WriteString(`<div class="minis">`)
+	for _, st := range stages {
+		if st.Count == 0 {
+			continue
+		}
+		lg := func(v float64) float64 { return math.Log10(math.Max(v, 0.5)) }
+		ps := []pt{{lg(st.P50), 0.50}, {lg(st.P90), 0.90}, {lg(st.P99), 0.99}, {lg(st.Max), 1.0}}
+		cap := fmt.Sprintf("%s (%s cycles, n=%d, mean %s)", st.Stage, st.Clock, st.Count, fnum(st.Mean))
+		mini(b, cap, lineChart([]series{{st.Stage, "ls1", ps}}, xf, nil))
+	}
+	b.WriteString("</div>\n</section>\n")
+}
+
+func writeHeatmapSection(b *strings.Builder, d *runDoc, suffix string) {
+	if len(d.EnergyByChannel) == 0 {
+		return
+	}
+	matrix := func(get func(bankEnergy) float64) ([][]float64, bool) {
+		out := make([][]float64, len(d.EnergyByChannel))
+		any := false
+		for i, ce := range d.EnergyByChannel {
+			out[i] = make([]float64, len(ce.Banks))
+			for j, be := range ce.Banks {
+				out[i][j] = get(be)
+				if out[i][j] > 0 {
+					any = true
+				}
+			}
+		}
+		return out, any
+	}
+	rl := func(i int) string { return fmt.Sprintf("ch%d", d.EnergyByChannel[i].Channel) }
+	cl := func(j int) string { return fmt.Sprintf("b%d", j) }
+	openSection(b, "Bank heatmaps"+suffix,
+		"Per-bank attribution across channels; darker is more.")
+	b.WriteString(`<div class="minis">`)
+	if m, ok := matrix(func(be bankEnergy) float64 { return be.RowNJ }); ok {
+		mini(b, "row energy (nJ)", heatmap(m, rl, cl, "nJ"))
+	}
+	if m, ok := matrix(func(be bankEnergy) float64 { return float64(be.DMSDelayCycles) }); ok {
+		mini(b, "DMS delay cycles", heatmap(m, rl, cl, "cycles"))
+	}
+	if m, ok := matrix(func(be bankEnergy) float64 { return float64(be.AMSDrops) }); ok {
+		mini(b, "AMS dropped reads", heatmap(m, rl, cl, "drops"))
+	}
+	if m, ok := matrix(func(be bankEnergy) float64 { return float64(be.RowConflicts) }); ok {
+		mini(b, "row conflicts", heatmap(m, rl, cl, "conflicts"))
+	}
+	b.WriteString("</div>\n</section>\n")
+}
+
+func bucketLabel(bk errBucket) string {
+	if bk.Lo == 0 && bk.Hi == 0 {
+		return "exact"
+	}
+	if bk.Lo == 0 {
+		return "< " + fe(bk.Hi)
+	}
+	return fe(bk.Lo) + " – " + fe(bk.Hi)
+}
+
+func fe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "∞"
+	}
+	return strings.Replace(fmt.Sprintf("%.0e", v), "e-0", "e-", 1)
+}
+
+func histRows(hs []errBucket, cls string) []barRow {
+	rows := make([]barRow, 0, len(hs))
+	for _, bk := range hs {
+		if bk.Count == 0 {
+			continue
+		}
+		rows = append(rows, barRow{Label: bucketLabel(bk), Value: float64(bk.Count), Class: cls})
+	}
+	return rows
+}
+
+func writeQualitySection(b *strings.Builder, q *qualitySummary, suffix string) {
+	openSection(b, "Approximation quality"+suffix,
+		"Predicted line values vs ground-truth memory image for every AMS-dropped read (float32 words).")
+	writeTiles(b, []tile{
+		{"dropped lines scored", fnum(float64(q.Lines))},
+		{"words", fnum(float64(q.Words))},
+		{"mean rel error", fnum(q.MeanRelError)},
+		{"rel p50", fnum(q.RelP50)},
+		{"rel p90", fnum(q.RelP90)},
+		{"rel p99", fnum(q.RelP99)},
+		{"max rel error", fnum(q.MaxRelError)},
+	})
+	b.WriteString(`<div class="minis">`)
+	mini(b, "relative error histogram (words)", barChart(histRows(q.RelHist, "s1")))
+	mini(b, "absolute error histogram (words)", barChart(histRows(q.AbsHist, "s1")))
+	b.WriteString("</div>\n")
+	if len(q.Worst) > 0 {
+		fmt.Fprintf(b, "<p class=\"cap\">Worst-offending lines by mean relative error:</p>\n")
+		var rows [][]string
+		for _, w := range q.Worst {
+			rows = append(rows, []string{
+				fmt.Sprintf("0x%x", w.Addr), fnum(float64(w.Cycle)), fnum(float64(w.Words)),
+				fnum(w.MeanAbs), fnum(w.MeanRel), fnum(w.MaxRel),
+			})
+		}
+		writeTable(b, []string{"line addr", "cycle", "words", "mean abs", "mean rel", "max rel"}, rows)
+	}
+	b.WriteString("</section>\n")
+}
+
+// --- two-document comparison ------------------------------------------------
+
+func writeComparison(b *strings.Builder, a, c *runDoc) {
+	openSection(b, "Comparison", fmt.Sprintf("A = %s, B = %s; Δ%% is relative to A.", a.title(), c.title()))
+	type metric struct {
+		name string
+		get  func(*runDoc) float64
+	}
+	metrics := []metric{
+		{"IPC", func(d *runDoc) float64 { return d.IPC }},
+		{"BW utilisation", func(d *runDoc) float64 { return d.BWUtil }},
+		{"AMS coverage", func(d *runDoc) float64 { return d.Coverage }},
+		{"app error", func(d *runDoc) float64 { return d.AppError }},
+		{"row energy (nJ)", func(d *runDoc) float64 { return d.RowEnergyNJ }},
+		{"mem energy (nJ)", func(d *runDoc) float64 { return d.MemEnergyNJ }},
+		{"activations", func(d *runDoc) float64 { return float64(d.Activations) }},
+		{"dropped reads", func(d *runDoc) float64 { return float64(d.Dropped) }},
+		{"avg RBL", func(d *runDoc) float64 { return d.AvgRBL }},
+		{"queue occupancy", func(d *runDoc) float64 { return d.QueueOcc }},
+		{"mean delay", func(d *runDoc) float64 { return d.MeanDelay }},
+		{"mean thRBL", func(d *runDoc) float64 { return d.MeanThRBL }},
+	}
+	var rows [][]string
+	for _, m := range metrics {
+		va, vb := m.get(a), m.get(c)
+		delta := "–"
+		if va != 0 && !math.IsNaN(va) && !math.IsNaN(vb) {
+			delta = fmt.Sprintf("%+.2f%%", (vb-va)/math.Abs(va)*100)
+		}
+		rows = append(rows, []string{m.name, fnum(va), fnum(vb), delta})
+	}
+	writeTable(b, []string{"metric", "A", "B", "Δ%"}, rows)
+
+	// Decision-reason counts side by side when both documents carry an audit.
+	ra, rb := auditReasonMap(a), auditReasonMap(c)
+	if len(ra) > 0 || len(rb) > 0 {
+		keys := make(map[string]bool)
+		for k := range ra {
+			keys[k] = true
+		}
+		for k := range rb {
+			keys[k] = true
+		}
+		sorted := make([]string, 0, len(keys))
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		var rrows [][]string
+		for _, k := range sorted {
+			rrows = append(rrows, []string{k, fnum(float64(ra[k])), fnum(float64(rb[k]))})
+		}
+		b.WriteString("<p class=\"cap\">Decision reasons:</p>\n")
+		writeTable(b, []string{"unit · reason", "A", "B"}, rrows)
+	}
+	b.WriteString("</section>\n")
+}
+
+func auditReasonMap(d *runDoc) map[string]uint64 {
+	out := map[string]uint64{}
+	if d.Telemetry == nil || d.Telemetry.Audit == nil {
+		return out
+	}
+	for _, r := range d.Telemetry.Audit.Reasons {
+		out[r.Unit+" · "+r.Reason] = r.Count
+	}
+	return out
+}

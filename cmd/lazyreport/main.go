@@ -1,0 +1,237 @@
+// Command lazyreport renders one or two lazysim -json documents into a
+// single self-contained HTML report: run summary, scheduler decision-reason
+// breakdown, Dyn-DMS/Dyn-AMS adaptation timeline, per-stage latency CDFs,
+// time-series small multiples, bank heatmaps, and approximation-quality
+// error histograms. With two documents it prepends a side-by-side scheme
+// comparison. The output embeds every byte it needs — no scripts, no
+// external assets, zero network fetches — so it can be archived next to the
+// JSON it was built from.
+//
+// Usage:
+//
+//	lazyreport run.json -o report.html
+//	lazyreport baseline.json candidate.json -o compare.html
+//
+// Flags may appear before or after the positional documents.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: lazyreport [-o report.html] run.json [baseline.json]")
+}
+
+func run(args []string, stderr io.Writer) int {
+	out := "report.html"
+	var inputs []string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-o" || a == "--o" || a == "-output" || a == "--output":
+			i++
+			if i >= len(args) {
+				usage(stderr)
+				return 2
+			}
+			out = args[i]
+		case strings.HasPrefix(a, "-o="):
+			out = strings.TrimPrefix(a, "-o=")
+		case a == "-h" || a == "-help" || a == "--help":
+			usage(stderr)
+			return 0
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(stderr, "lazyreport: unknown flag %s\n", a)
+			usage(stderr)
+			return 2
+		default:
+			inputs = append(inputs, a)
+		}
+	}
+	if len(inputs) < 1 || len(inputs) > 2 {
+		usage(stderr)
+		return 2
+	}
+	var docs []*runDoc
+	for _, p := range inputs {
+		d, err := loadDoc(p)
+		if err != nil {
+			fmt.Fprintln(stderr, "lazyreport:", err)
+			return 2
+		}
+		docs = append(docs, d)
+	}
+	html := buildHTML(docs)
+	if err := os.WriteFile(out, []byte(html), 0o644); err != nil {
+		fmt.Fprintln(stderr, "lazyreport:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "lazyreport: wrote %s (%d bytes)\n", out, len(html))
+	return 0
+}
+
+// The structs below mirror the subset of the lazysim -json document the
+// report consumes; unknown fields are ignored so newer documents keep
+// rendering.
+
+type runDoc struct {
+	Path string `json:"-"`
+
+	App          string  `json:"app"`
+	Scheme       string  `json:"scheme"`
+	Seed         int64   `json:"seed"`
+	CoreCycles   uint64  `json:"core_cycles"`
+	Instructions uint64  `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+
+	Activations uint64  `json:"activations"`
+	Reads       uint64  `json:"reads"`
+	Writes      uint64  `json:"writes"`
+	AvgRBL      float64 `json:"avg_rbl"`
+	BWUtil      float64 `json:"bwutil"`
+	Coverage    float64 `json:"coverage"`
+	Dropped     uint64  `json:"dropped"`
+	QueueOcc    float64 `json:"queue_occ"`
+
+	RowEnergyNJ float64 `json:"row_energy_nj"`
+	MemEnergyNJ float64 `json:"mem_energy_nj"`
+	AppError    float64 `json:"app_error"`
+
+	FinalDelay int     `json:"final_delay"`
+	FinalThRBL int     `json:"final_th_rbl"`
+	MeanDelay  float64 `json:"mean_delay"`
+	MeanThRBL  float64 `json:"mean_th_rbl"`
+
+	EnergyByChannel []chEnergy `json:"energy_by_channel"`
+	Telemetry       *telemetry `json:"telemetry"`
+}
+
+type chEnergy struct {
+	Channel int          `json:"channel"`
+	RowNJ   float64      `json:"row_nj"`
+	TotalNJ float64      `json:"total_nj"`
+	Banks   []bankEnergy `json:"banks"`
+}
+
+type bankEnergy struct {
+	Bank           int     `json:"bank"`
+	RowNJ          float64 `json:"row_nj"`
+	Activations    uint64  `json:"activations"`
+	RowHits        uint64  `json:"row_hits"`
+	RowConflicts   uint64  `json:"row_conflicts"`
+	DMSDelayCycles uint64  `json:"dms_delay_cycles"`
+	AMSDrops       uint64  `json:"ams_drops"`
+}
+
+type telemetry struct {
+	Stages      []stageSummary  `json:"stages"`
+	SampleEvery uint64          `json:"sample_every"`
+	Series      []sample        `json:"series"`
+	Audit       *auditSummary   `json:"audit"`
+	Quality     *qualitySummary `json:"quality"`
+}
+
+type stageSummary struct {
+	Stage string  `json:"stage"`
+	Clock string  `json:"clock"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+type sample struct {
+	MemCycle uint64  `json:"mem_cycle"`
+	IPC      float64 `json:"ipc"`
+	BWUtil   float64 `json:"bwutil"`
+	QueueOcc float64 `json:"queue_occ"`
+	Delay    float64 `json:"delay"`
+	ThRBL    float64 `json:"th_rbl"`
+}
+
+type auditSummary struct {
+	Total            uint64        `json:"total"`
+	DMSDelayHolds    uint64        `json:"dms_delay_holds"`
+	DMSDelayExpiries uint64        `json:"dms_delay_expiries"`
+	AMSDrops         uint64        `json:"ams_drops"`
+	AMSSkips         uint64        `json:"ams_skips"`
+	Reasons          []reasonCount `json:"reasons"`
+	Adapt            []adaptPoint  `json:"adapt"`
+}
+
+type reasonCount struct {
+	Unit   string `json:"unit"`
+	Kind   string `json:"kind"`
+	Reason string `json:"reason"`
+	Count  uint64 `json:"count"`
+}
+
+type adaptPoint struct {
+	Cycle    uint64  `json:"cycle"`
+	Channel  int     `json:"channel"`
+	Unit     string  `json:"unit"`
+	Delay    float64 `json:"delay"`
+	BWUtil   float64 `json:"bwutil"`
+	ThRBL    float64 `json:"th_rbl"`
+	Coverage float64 `json:"coverage"`
+}
+
+type qualitySummary struct {
+	Lines        uint64          `json:"lines"`
+	Words        uint64          `json:"words"`
+	SkippedWords uint64          `json:"skipped_words"`
+	MeanAbsError float64         `json:"mean_abs_error"`
+	MeanRelError float64         `json:"mean_rel_error"`
+	RelP50       float64         `json:"rel_p50"`
+	RelP90       float64         `json:"rel_p90"`
+	RelP99       float64         `json:"rel_p99"`
+	MaxRelError  float64         `json:"max_rel_error"`
+	AbsHist      []errBucket     `json:"abs_hist"`
+	RelHist      []errBucket     `json:"rel_hist"`
+	Worst        []worstOffender `json:"worst"`
+}
+
+type errBucket struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Count uint64  `json:"count"`
+}
+
+type worstOffender struct {
+	Addr    uint64  `json:"addr"`
+	Cycle   uint64  `json:"cycle"`
+	Words   int     `json:"words"`
+	MeanAbs float64 `json:"mean_abs"`
+	MeanRel float64 `json:"mean_rel"`
+	MaxRel  float64 `json:"max_rel"`
+}
+
+func loadDoc(path string) (*runDoc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d := &runDoc{Path: path}
+	if err := json.Unmarshal(raw, d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// title names the run for section headers.
+func (d *runDoc) title() string {
+	if d.App == "" && d.Scheme == "" {
+		return d.Path
+	}
+	return fmt.Sprintf("%s · %s (seed %d)", d.App, d.Scheme, d.Seed)
+}

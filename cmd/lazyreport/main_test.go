@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleDoc resembles a lazysim -json document with audit and quality
+// telemetry attached.
+const sampleDoc = `{
+  "app": "SCP", "scheme": "dyn-both", "seed": 1,
+  "core_cycles": 120000, "instructions": 95000, "ipc": 0.7917,
+  "activations": 5200, "reads": 61000, "writes": 9400,
+  "avg_rbl": 3.4, "bwutil": 0.62, "coverage": 0.081, "dropped": 4940,
+  "queue_occ": 11.2, "row_energy_nj": 3120.5, "mem_energy_nj": 9980.1,
+  "app_error": 0.0123, "final_delay": 384, "final_th_rbl": 3,
+  "mean_delay": 201.7, "mean_th_rbl": 2.9,
+  "energy_by_channel": [
+    {"channel": 0, "row_nj": 1600.2, "total_nj": 5100.0, "banks": [
+      {"bank": 0, "row_nj": 900.1, "activations": 1400, "row_hits": 9000,
+       "row_conflicts": 310, "dms_delay_cycles": 5200, "ams_drops": 1300},
+      {"bank": 1, "row_nj": 700.1, "activations": 1200, "row_hits": 8000,
+       "row_conflicts": 250, "dms_delay_cycles": 4100, "ams_drops": 1100}
+    ]},
+    {"channel": 1, "row_nj": 1520.3, "total_nj": 4880.1, "banks": [
+      {"bank": 0, "row_nj": 800.2, "activations": 1300, "row_hits": 8500,
+       "row_conflicts": 280, "dms_delay_cycles": 4600, "ams_drops": 1280},
+      {"bank": 1, "row_nj": 720.1, "activations": 1300, "row_hits": 8200,
+       "row_conflicts": 260, "dms_delay_cycles": 4500, "ams_drops": 1260}
+    ]}
+  ],
+  "telemetry": {
+    "stages": [
+      {"stage": "queue", "clock": "mem", "count": 70000, "mean": 41.2,
+       "p50": 18, "p90": 120, "p99": 600, "max": 2400},
+      {"stage": "service", "clock": "mem", "count": 70000, "mean": 19.8,
+       "p50": 14, "p90": 44, "p99": 170, "max": 900}
+    ],
+    "sample_every": 4096,
+    "series": [
+      {"mem_cycle": 4096, "ipc": 0.71, "bwutil": 0.55, "queue_occ": 9.1},
+      {"mem_cycle": 8192, "ipc": 0.78, "bwutil": 0.61, "queue_occ": 10.4},
+      {"mem_cycle": 12288, "ipc": 0.81, "bwutil": 0.66, "queue_occ": 12.0}
+    ],
+    "audit": {
+      "total": 26000, "ring_capacity": 65536,
+      "dms_delay_holds": 18400, "dms_delay_expiries": 96,
+      "ams_drops": 4940, "ams_skips": 2564,
+      "reasons": [
+        {"unit": "dms", "kind": "delay", "reason": "delay-hold", "count": 18400},
+        {"unit": "dms", "kind": "expire", "reason": "delay-expired", "count": 96},
+        {"unit": "ams", "kind": "drop", "reason": "drop", "count": 4940},
+        {"unit": "ams", "kind": "skip", "reason": "rbl-above-threshold", "count": 1800},
+        {"unit": "ams", "kind": "skip", "reason": "coverage-exhausted", "count": 764}
+      ],
+      "adapt": [
+        {"cycle": 1024, "channel": 0, "unit": "dms", "delay": 128, "bwutil": 0.41, "phase": "sampling"},
+        {"cycle": 2048, "channel": 0, "unit": "dms", "delay": 256, "bwutil": 0.44, "phase": "searching"},
+        {"cycle": 1024, "channel": 0, "unit": "ams", "th_rbl": 2, "coverage": 0.05,
+         "window_reads": 900, "window_dropped": 45},
+        {"cycle": 2048, "channel": 0, "unit": "ams", "th_rbl": 3, "coverage": 0.07,
+         "window_reads": 870, "window_dropped": 70}
+      ]
+    },
+    "quality": {
+      "lines": 4940, "words": 158080,
+      "mean_abs_error": 0.034, "mean_rel_error": 0.0061,
+      "rel_p50": 0.001, "rel_p90": 0.02, "rel_p99": 0.31, "max_rel_error": 4.2,
+      "rel_hist": [
+        {"lo": 0, "hi": 0, "count": 61000},
+        {"lo": 1e-4, "hi": 1e-3, "count": 52000},
+        {"lo": 1e-3, "hi": 1e-2, "count": 30000},
+        {"lo": 1e-2, "hi": 1e-1, "count": 14000}
+      ],
+      "abs_hist": [
+        {"lo": 0, "hi": 0, "count": 61000},
+        {"lo": 1e-3, "hi": 1e-2, "count": 60000},
+        {"lo": 1e-2, "hi": 1e-1, "count": 37080}
+      ],
+      "worst": [
+        {"addr": 4198400, "cycle": 90412, "words": 32, "mean_abs": 1.9,
+         "mean_rel": 0.8, "max_rel": 4.2}
+      ]
+    }
+  }
+}`
+
+func writeSample(t *testing.T, dir, name string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(sampleDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestReportSelfContained is the end-to-end check required by the issue:
+// the emitted HTML must carry its charts inline and reference nothing over
+// the network.
+func TestReportSelfContained(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSample(t, dir, "run.json")
+	out := filepath.Join(dir, "report.html")
+	var stderr bytes.Buffer
+	if code := run([]string{in, "-o", out}, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(raw)
+
+	if !strings.Contains(page, "<svg") {
+		t.Error("report contains no inline SVG")
+	}
+	for _, want := range []string{
+		"delay-hold", "rbl-above-threshold", "coverage-exhausted",
+		"Scheduler decisions", "Approximation quality", "Bank heatmaps",
+		"Dyn adaptation", "Request latency by stage",
+		"SCP", "dyn-both",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Self-containment: no scripts, no external fetch vectors.
+	for _, banned := range []string{
+		"http://", "https://", "<script", "@import", "url(", "<link", "<iframe", "srcset",
+	} {
+		if strings.Contains(page, banned) {
+			t.Errorf("report references external content: found %q", banned)
+		}
+	}
+}
+
+func TestReportComparisonMode(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSample(t, dir, "a.json")
+	b := writeSample(t, dir, "b.json")
+	out := filepath.Join(dir, "cmp.html")
+	var stderr bytes.Buffer
+	if code := run([]string{"-o", out, a, b}, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(raw)
+	if !strings.Contains(page, "Comparison") {
+		t.Error("two-document report missing comparison section")
+	}
+	// Identical inputs: every Δ% should be +0.00%.
+	if !strings.Contains(page, "+0.00%") {
+		t.Error("comparison table missing zero deltas for identical inputs")
+	}
+	if strings.Contains(page, "NaN") {
+		t.Error("comparison emitted NaN")
+	}
+}
+
+func TestRunRejectsBadInvocation(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(nil, &stderr); code != 2 {
+		t.Errorf("no args: got exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"a.json", "b.json", "c.json"}, &stderr); code != 2 {
+		t.Errorf("three docs: got exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.json")}, &stderr); code != 2 {
+		t.Errorf("missing file: got exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-bogus"}, &stderr); code != 2 {
+		t.Errorf("unknown flag: got exit %d, want 2", code)
+	}
+}
+
+func TestReportHandlesSparseDoc(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bare.json")
+	if err := os.WriteFile(p, []byte(`{"app":"RED","scheme":"baseline","seed":7,"ipc":1.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bare.html")
+	var stderr bytes.Buffer
+	if code := run([]string{p, "-o", out}, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(raw)
+	if !strings.Contains(page, "Run summary") {
+		t.Error("sparse report missing run summary")
+	}
+	for _, banned := range []string{"Scheduler decisions", "Approximation quality", "Bank heatmaps"} {
+		if strings.Contains(page, banned) {
+			t.Errorf("sparse report should omit %q section", banned)
+		}
+	}
+}

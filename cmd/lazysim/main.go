@@ -20,6 +20,12 @@
 //	-metrics-addr A  serve live Prometheus metrics on A (e.g. localhost:9090):
 //	                 /metrics is the text exposition, /vars the expvar JSON
 //	-top-banks N     hottest-bank summary length in -json output
+//	-audit           collect the scheduler decision audit (reason-code
+//	                 counters, decision ring, Dyn adaptation trace)
+//	-audit-cap N     decision-ring capacity (entries retained)
+//	-audit-log FILE  write the retained decisions as JSONL (implies -audit)
+//	-quality         score every AMS-dropped line against ground truth
+//	                 (error histograms + worst offenders in the telemetry)
 //	-pprof ADDR      serve net/http/pprof on ADDR (e.g. localhost:6060)
 //	-cpuprofile FILE write a CPU profile of the run
 package main
@@ -63,6 +69,11 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics (Prometheus) and /vars (expvar JSON) on this address during the run")
 		topBanks    = flag.Int("top-banks", 8, "number of hottest banks in the -json summary")
+
+		audit    = flag.Bool("audit", false, "collect the scheduler decision audit (reason-code counters, decision ring, Dyn adaptation trace)")
+		auditCap = flag.Int("audit-cap", 1<<16, "decision-audit ring capacity (entries retained)")
+		auditLog = flag.String("audit-log", "", "write the retained decision-ring entries as JSONL to this file (implies -audit)")
+		quality  = flag.Bool("quality", false, "score every AMS-dropped line against ground truth (error histograms + worst offenders)")
 
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -115,6 +126,10 @@ func main() {
 	if *traceOut != "" {
 		cfg.Obs.TraceCapacity = *traceCap
 	}
+	if *audit || *auditLog != "" {
+		cfg.Obs.AuditCapacity = *auditCap
+	}
+	cfg.Obs.Quality = *quality
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		cfg.Obs.Metrics = reg
@@ -150,6 +165,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *auditLog != "" && res.Audit != nil {
+		if err := writeAuditLog(res.Audit, *auditLog); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	if *jsonOut {
 		if err := json.NewEncoder(os.Stdout).Encode(buildReport(&res.Run, res, *seed, wall, *topBanks)); err != nil {
@@ -160,6 +181,15 @@ func main() {
 	}
 	fmt.Print(res.Run.String())
 	fmt.Printf("  vp: %d predictions (%d fallbacks)\n", res.VPPredictions, res.VPFallbacks)
+	if s := res.Audit.Summary(); s != nil {
+		fmt.Printf("  audit: %d decisions (dms holds %d, expiries %d; ams drops %d, skips %d)\n",
+			s.Total, s.DMSDelayHolds, s.DMSDelayExpiries, s.AMSDrops, s.AMSSkips)
+	}
+	if res.Telemetry != nil && res.Telemetry.Quality != nil {
+		q := res.Telemetry.Quality
+		fmt.Printf("  quality: %d dropped lines, mean rel err %.4g (p99 %.4g, max %.4g)\n",
+			q.Lines, q.MeanRelError, q.RelP99, q.MaxRelError)
+	}
 	if hot := energy.TopBanks(res.EnergyByChannel, 3); len(hot) > 0 {
 		fmt.Printf("  hot banks:")
 		for _, h := range hot {
@@ -188,6 +218,15 @@ func serveMetrics(addr string, reg *obs.Registry) (*http.Server, string, error) 
 		}
 	}()
 	return srv, ln.Addr().String(), nil
+}
+
+func writeAuditLog(a *obs.AuditLog, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.WriteJSONL(f)
 }
 
 func writeTrace(tr *obs.CmdTrace, path string) error {

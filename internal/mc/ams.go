@@ -31,6 +31,9 @@ type amsUnit struct {
 	dropList []*Request
 	dropBank int
 	dropRow  int64
+
+	aud     *obs.AuditLog // nil unless the decision audit is enabled
+	channel int
 }
 
 func newAMSUnit(s Scheme, window uint64, st *stats.Mem) *amsUnit {
@@ -53,10 +56,19 @@ func (u *amsUnit) tick(now uint64) {
 	if now-u.winStart < u.window {
 		return
 	}
+	u.windowEnd(now)
+}
+
+// windowEnd closes the profile window ending at now. The threshold is only
+// adapted when the window saw reads, but the window start and baselines
+// always advance so an idle (zero-read) window is retired once instead of
+// being re-evaluated on every subsequent cycle.
+func (u *amsUnit) windowEnd(now uint64) {
 	reads := u.st.ReadReqs - u.readsAtWinStart
 	dropped := u.st.Dropped - u.droppedAtWinStart
+	var cov float64
 	if reads > 0 {
-		cov := float64(dropped) / float64(reads)
+		cov = float64(dropped) / float64(reads)
 		// The running-coverage cap throttles drops to just below the target,
 		// so windows where demand saturates land slightly under it; the
 		// 0.95 factor keeps the cap interaction from masking saturation.
@@ -67,6 +79,17 @@ func (u *amsUnit) tick(now uint64) {
 		} else if u.thRBL < MaxThRBL {
 			u.thRBL++
 		}
+	}
+	if u.aud != nil {
+		u.aud.RecordAdapt(obs.AdaptPoint{
+			Cycle:         now,
+			Channel:       u.channel,
+			Unit:          "ams",
+			ThRBL:         u.thRBL,
+			Coverage:      cov,
+			WindowReads:   reads,
+			WindowDropped: dropped,
+		})
 	}
 	u.winStart = now
 	u.readsAtWinStart = u.st.ReadReqs
@@ -89,30 +112,65 @@ func (c *Controller) amsStep(now uint64) {
 		}
 		return
 	}
+	// Skip reasons below are audited only for genuine drop candidates
+	// (approximable reads); refusing a write or a non-approximable read is
+	// not an AMS decision.
 	if c.vpReady != nil && !c.vpReady() {
-		return // L2 not warmed up; the VP unit cannot predict yet.
+		// L2 not warmed up; the VP unit cannot predict yet.
+		if c.aud != nil {
+			if req := c.oldestLive(); req != nil && !req.Write && req.Approximable {
+				c.auditSampled(now, req, obs.ReasonAMSL2Cold)
+			}
+		}
+		return
 	}
 	req := c.oldestLive()
 	if req == nil || req.Write || !req.Approximable {
 		return
 	}
 	if now-req.Arrival < uint64(c.Delay()) {
-		return // DMS delay criterion not yet satisfied.
+		// DMS delay criterion not yet satisfied.
+		if c.aud != nil {
+			c.auditSampled(now, req, obs.ReasonAMSDelayPending)
+		}
+		return
 	}
 	if c.st.ReadReqs == 0 ||
 		float64(c.st.Dropped)/float64(c.st.ReadReqs) >= a.coverageTarget {
-		return // prediction-coverage budget exhausted
+		// prediction-coverage budget exhausted
+		if c.aud != nil {
+			c.auditSampled(now, req, obs.ReasonAMSCoverageExhausted)
+		}
+		return
 	}
 	bq := &c.banks[req.Coord.Bank]
 	rq := bq.rows[req.Coord.Row]
-	if rq == nil || rq.pendingWrites > 0 || rq.pendingNonApprox > 0 {
+	if rq == nil {
+		return
+	}
+	if rq.pendingWrites > 0 || rq.pendingNonApprox > 0 {
+		if c.aud != nil {
+			reason := obs.ReasonAMSPendingNonApprox
+			if rq.pendingWrites > 0 {
+				reason = obs.ReasonAMSPendingWrites
+			}
+			c.auditSampled(now, req, reason)
+		}
 		return
 	}
 	if c.ch.OpenRow(req.Coord.Bank) == req.Coord.Row {
-		return // row already open: serving these requests costs no activation
+		// row already open: serving these requests costs no activation
+		if c.aud != nil {
+			c.auditSampled(now, req, obs.ReasonAMSRowOpen)
+		}
+		return
 	}
 	if rq.pending > a.thRBL {
-		return // visible RBL too high; keep the coverage for lower-RBL rows
+		// visible RBL too high; keep the coverage for lower-RBL rows
+		if c.aud != nil {
+			c.auditSampled(now, req, obs.ReasonAMSHighRBL)
+		}
+		return
 	}
 	// Drop the whole visible row, starting with the oldest request now.
 	rq.dropping = true
@@ -140,6 +198,11 @@ func (a *amsUnit) finishRowDrop(c *Controller) {
 }
 
 func (c *Controller) dropReq(r *Request, now uint64) {
+	// Audited before the counters move so the Decision carries the coverage
+	// that justified the drop; the drop count reconciles with st.Dropped.
+	if c.aud != nil {
+		c.audit(now, r, obs.ReasonAMSDrop)
+	}
 	c.tr.Observe(obs.StageVPDrop, now-r.Arrival)
 	c.retire(r, ReqDropped)
 	c.st.Dropped++

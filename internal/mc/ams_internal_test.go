@@ -1,0 +1,77 @@
+package mc
+
+import (
+	"testing"
+
+	"lazydram/internal/obs"
+	"lazydram/internal/stats"
+)
+
+// TestDynAMSZeroReadWindow is the regression test for the Dyn-AMS window
+// accounting: a profile window that saw zero reads must be retired exactly
+// once — the window start and the read/drop baselines advance, the
+// threshold is left alone, and subsequent mid-window ticks are no-ops —
+// instead of being re-evaluated on every cycle after the boundary.
+func TestDynAMSZeroReadWindow(t *testing.T) {
+	st := &stats.Mem{Banks: make([]stats.Bank, 8)}
+	u := newAMSUnit(Scheme{AMS: Dyn, StaticThRBL: 4, CoverageTarget: 0.1}, 1024, st)
+	aud := obs.NewAuditLog(64)
+	u.aud = aud
+
+	// Mid-window tick: nothing happens.
+	u.tick(512)
+	if u.winStart != 0 || u.thRBL != 4 {
+		t.Fatalf("mid-window tick mutated state: winStart=%d thRBL=%d", u.winStart, u.thRBL)
+	}
+	if len(aud.Adapt()) != 0 {
+		t.Fatalf("mid-window tick recorded %d adapt points", len(aud.Adapt()))
+	}
+
+	// Window boundary with zero reads: baselines advance, thRBL untouched,
+	// exactly one adapt point recorded.
+	u.tick(1024)
+	if u.winStart != 1024 {
+		t.Errorf("zero-read window did not advance winStart: got %d, want 1024", u.winStart)
+	}
+	if u.thRBL != 4 {
+		t.Errorf("zero-read window adapted thRBL: got %d, want 4", u.thRBL)
+	}
+	if got := len(aud.Adapt()); got != 1 {
+		t.Fatalf("zero-read window recorded %d adapt points, want 1", got)
+	}
+	p := aud.Adapt()[0]
+	if p.WindowReads != 0 || p.WindowDropped != 0 || p.Coverage != 0 {
+		t.Errorf("zero-read adapt point: reads=%d dropped=%d cov=%g, want zeros",
+			p.WindowReads, p.WindowDropped, p.Coverage)
+	}
+
+	// The cycle right after the boundary is mid-window again — the idle
+	// window must not be re-evaluated.
+	u.tick(1025)
+	if got := len(aud.Adapt()); got != 1 {
+		t.Fatalf("idle window re-evaluated: %d adapt points after post-boundary tick", got)
+	}
+
+	// A read-bearing window below target raises thRBL and its adapt point
+	// reflects only that window's reads.
+	st.ReadReqs = 500
+	u.tick(2048)
+	if u.thRBL != 5 {
+		t.Errorf("under-target window: thRBL=%d, want 5", u.thRBL)
+	}
+	pts := aud.Adapt()
+	if got := len(pts); got != 2 {
+		t.Fatalf("read-bearing window recorded %d adapt points, want 2", got)
+	}
+	if pts[1].WindowReads != 500 || pts[1].ThRBL != 5 {
+		t.Errorf("adapt point: reads=%d thRBL=%d, want 500/5", pts[1].WindowReads, pts[1].ThRBL)
+	}
+
+	// A window meeting the (0.95-discounted) coverage target lowers thRBL.
+	st.ReadReqs = 1000
+	st.Dropped = 50 // 50/500 = 0.10 >= 0.95*0.1 within the window
+	u.tick(3072)
+	if u.thRBL != 4 {
+		t.Errorf("on-target window: thRBL=%d, want 4", u.thRBL)
+	}
+}

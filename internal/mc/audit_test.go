@@ -1,0 +1,184 @@
+package mc_test
+
+import (
+	"testing"
+
+	"lazydram/internal/mc"
+	"lazydram/internal/obs"
+)
+
+func withAudit(h *harness) *obs.AuditLog {
+	aud := obs.NewAuditLog(1024)
+	h.ctrl.SetAudit(aud, 0)
+	return aud
+}
+
+func TestAuditAMSDropReconcilesWithStats(t *testing.T) {
+	scheme := mc.Scheme{AMS: mc.Static, StaticThRBL: 1, CoverageTarget: 1}
+	h := newHarness(t, scheme)
+	aud := withAudit(h)
+	h.push(0, 1, 0, false, true)
+	h.run(0, 50)
+	if h.st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", h.st.Dropped)
+	}
+	if got := aud.Count(obs.ReasonAMSDrop); got != h.st.Dropped {
+		t.Fatalf("audited drops = %d, stats.Dropped = %d; must reconcile", got, h.st.Dropped)
+	}
+	var found bool
+	for _, d := range aud.Entries() {
+		if d.Reason != obs.ReasonAMSDrop {
+			continue
+		}
+		found = true
+		if d.Channel != 0 || d.Bank != 0 || d.Row != 1 {
+			t.Errorf("drop decision at ch%d b%d row%d, want ch0 b0 row1", d.Channel, d.Bank, d.Row)
+		}
+		if d.VisibleRBL != 1 || d.ThRBL != 1 {
+			t.Errorf("drop decision rbl=%d thRBL=%d, want 1/1", d.VisibleRBL, d.ThRBL)
+		}
+		if d.Coverage >= 1 {
+			t.Errorf("drop decision coverage %g must be pre-drop (below target 1)", d.Coverage)
+		}
+	}
+	if !found {
+		t.Fatal("no ReasonAMSDrop decision in the ring")
+	}
+}
+
+func TestAuditAMSSkipHighRBL(t *testing.T) {
+	scheme := mc.Scheme{AMS: mc.Static, StaticThRBL: 1, CoverageTarget: 1}
+	h := newHarness(t, scheme)
+	aud := withAudit(h)
+	h.push(0, 1, 0, false, true)
+	h.push(0, 1, 128, false, true)
+	h.run(0, 400)
+	if h.st.Dropped != 0 {
+		t.Fatalf("dropped %d despite RBL above threshold", h.st.Dropped)
+	}
+	if aud.Count(obs.ReasonAMSHighRBL) == 0 {
+		t.Fatal("no rbl-above-threshold skip audited")
+	}
+	if aud.Count(obs.ReasonAMSDrop) != 0 {
+		t.Fatal("drop audited but stats.Dropped is 0")
+	}
+}
+
+func TestAuditAMSSkipCoverageExhausted(t *testing.T) {
+	scheme := mc.Scheme{AMS: mc.Static, StaticThRBL: 1, CoverageTarget: 0.5}
+	h := newHarness(t, scheme)
+	aud := withAudit(h)
+	h.push(0, 1, 0, false, true)
+	h.push(0, 2, 0, false, true)
+	h.run(0, 400)
+	if h.st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want exactly 1 under a 0.5 coverage budget", h.st.Dropped)
+	}
+	if aud.Count(obs.ReasonAMSDrop) != 1 {
+		t.Fatalf("audited drops = %d, want 1", aud.Count(obs.ReasonAMSDrop))
+	}
+	if aud.Count(obs.ReasonAMSCoverageExhausted) == 0 {
+		t.Fatal("no coverage-exhausted skip audited for the second candidate")
+	}
+}
+
+func TestAuditAMSSkipPendingWrites(t *testing.T) {
+	scheme := mc.Scheme{AMS: mc.Static, StaticThRBL: 4, CoverageTarget: 1}
+	h := newHarness(t, scheme)
+	aud := withAudit(h)
+	// Oldest live request is the approximable read, but its row also holds a
+	// pending write — AMS must refuse (the write still needs the row) and
+	// say why.
+	h.push(0, 1, 0, false, true)
+	h.push(0, 1, 128, true, false)
+	h.run(0, 400)
+	if aud.Count(obs.ReasonAMSPendingWrites) == 0 {
+		t.Fatal("no pending-writes skip audited")
+	}
+	if h.st.Dropped != 0 {
+		t.Fatalf("dropped %d requests from a row with a pending write", h.st.Dropped)
+	}
+}
+
+func TestAuditAMSSkipL2Cold(t *testing.T) {
+	scheme := mc.Scheme{AMS: mc.Static, StaticThRBL: 4, CoverageTarget: 1}
+	h := newHarness(t, scheme)
+	aud := withAudit(h)
+	h.vpWarm = false
+	h.push(0, 1, 0, false, true)
+	h.run(0, 20)
+	if aud.Count(obs.ReasonAMSL2Cold) == 0 {
+		t.Fatal("no l2-cold skip audited while the VP is not warmed up")
+	}
+	if h.st.Dropped != 0 {
+		t.Fatal("request dropped while the VP cannot predict")
+	}
+}
+
+func TestAuditAMSSkipRowOpen(t *testing.T) {
+	scheme := mc.Scheme{AMS: mc.Static, StaticThRBL: 4, CoverageTarget: 1}
+	h := newHarness(t, scheme)
+	aud := withAudit(h)
+	// Open row 1 with a non-approximable read, then enqueue an approximable
+	// read to the now-open row: serving it is free, so AMS skips it.
+	h.push(0, 1, 0, false, false)
+	h.run(0, 200)
+	h.push(0, 1, 128, false, true)
+	h.run(200, 260)
+	if aud.Count(obs.ReasonAMSRowOpen) == 0 {
+		t.Fatal("no row-open skip audited")
+	}
+	if h.st.Dropped != 0 {
+		t.Fatal("request to an open row was dropped")
+	}
+}
+
+func TestAuditDMSDelayReconcilesWithStats(t *testing.T) {
+	scheme := mc.Scheme{DMS: mc.Static, StaticDelay: 100}
+	h := newHarness(t, scheme)
+	aud := withAudit(h)
+	h.push(0, 1, 0, false, false)
+	h.run(0, 300)
+	if len(h.done) != 1 {
+		t.Fatalf("completed %d, want 1", len(h.done))
+	}
+	var holds uint64
+	for _, b := range h.st.Banks {
+		holds += b.DMSDelayCycles
+	}
+	if holds == 0 {
+		t.Fatal("DMS delay produced no hold cycles")
+	}
+	if got := aud.Count(obs.ReasonDMSDelayHold); got != holds {
+		t.Fatalf("audited holds = %d, stats DMSDelayCycles = %d; must reconcile", got, holds)
+	}
+	if got := aud.Count(obs.ReasonDMSDelayExpired); got != 1 {
+		t.Fatalf("audited expiries = %d, want 1 (one delayed activate)", got)
+	}
+}
+
+// TestAuditOffLeavesNoTrace double-checks the nil-safety contract: without
+// SetAudit every hook is a no-op and the controller behaves identically.
+func TestAuditOffMatchesAuditOn(t *testing.T) {
+	scheme := mc.Scheme{DMS: mc.Static, StaticDelay: 50, AMS: mc.Static, StaticThRBL: 2, CoverageTarget: 0.5}
+	plain := newHarness(t, scheme)
+	audited := newHarness(t, scheme)
+	withAudit(audited)
+	for _, h := range []*harness{plain, audited} {
+		h.push(0, 1, 0, false, true)
+		h.push(0, 2, 0, false, false)
+		h.push(1, 3, 0, false, true)
+		h.run(0, 500)
+	}
+	if len(plain.done) != len(audited.done) {
+		t.Fatalf("completions diverge: %d vs %d", len(plain.done), len(audited.done))
+	}
+	for i := range plain.done {
+		if plain.done[i].at != audited.done[i].at || plain.done[i].approx != audited.done[i].approx {
+			t.Fatalf("completion %d diverges: %+v vs %+v", i, plain.done[i], audited.done[i])
+		}
+	}
+	if plain.st.Dropped != audited.st.Dropped || plain.st.Activations != audited.st.Activations {
+		t.Fatal("stats diverge between audited and unaudited runs")
+	}
+}

@@ -160,6 +160,9 @@ type Controller struct {
 	ams    *amsUnit
 	now    uint64
 	tr     *obs.Tracer // nil unless request-lifecycle tracing is enabled
+
+	aud   *obs.AuditLog // nil unless the decision audit is enabled
+	audCh int           // channel tag stamped on audited decisions
 }
 
 // New creates a controller in front of ch. onComplete must be non-nil;
@@ -196,6 +199,70 @@ func New(cfg Config, ch *dram.Channel, st *stats.Mem, onComplete CompletionFunc,
 // pending-queue wait and DRAM service latency per request. A nil tracer
 // disables the hooks.
 func (c *Controller) SetTracer(t *obs.Tracer) { c.tr = t }
+
+// SetAudit attaches the scheduler decision log; channel tags the recorded
+// decisions and adaptation points. A nil log disables the hooks.
+func (c *Controller) SetAudit(a *obs.AuditLog, channel int) {
+	c.aud = a
+	c.audCh = channel
+	if c.dms != nil {
+		c.dms.aud = a
+		c.dms.channel = channel
+	}
+	if c.ams != nil {
+		c.ams.aud = a
+		c.ams.channel = channel
+	}
+}
+
+// coverage returns the running prediction coverage (dropped / reads).
+func (c *Controller) coverage() float64 {
+	if c.st.ReadReqs == 0 {
+		return 0
+	}
+	return float64(c.st.Dropped) / float64(c.st.ReadReqs)
+}
+
+// visibleRBL returns the number of pending same-row requests visible for r.
+func (c *Controller) visibleRBL(r *Request) int {
+	if rq := c.banks[r.Coord.Bank].rows[r.Coord.Row]; rq != nil {
+		return rq.pending
+	}
+	return 0
+}
+
+// audit records one scheduler decision for r together with the inputs in
+// force when it was taken. Callers guard on c.aud != nil so the disabled
+// path never builds the Decision.
+func (c *Controller) audit(now uint64, r *Request, reason obs.Reason) {
+	c.aud.Record(obs.Decision{
+		Cycle:      now,
+		Channel:    c.audCh,
+		Bank:       r.Coord.Bank,
+		Row:        r.Coord.Row,
+		ReqID:      r.ID,
+		Reason:     reason,
+		VisibleRBL: c.visibleRBL(r),
+		Delay:      c.Delay(),
+		ThRBL:      c.ThRBL(),
+		Coverage:   c.coverage(),
+	})
+}
+
+// auditSampled audits a per-cycle repeat decision: the reason counter is
+// bumped for every event, but full ring detail (with the map lookup and
+// coverage math behind it) is recorded only on a deterministic 1-in-64
+// subsample of the request's age. A bank held for a 2048-cycle delay, or an
+// AMS candidate re-skipped every cycle, would otherwise flood the bounded
+// ring with near-identical entries and put a ring write on the scheduler's
+// per-cycle path.
+func (c *Controller) auditSampled(now uint64, r *Request, reason obs.Reason) {
+	if (now-r.Arrival)&63 == 0 {
+		c.audit(now, r, reason)
+		return
+	}
+	c.aud.Tally(reason)
+}
 
 // Full reports whether the pending queue cannot accept another request.
 func (c *Controller) Full() bool { return c.live >= c.cfg.QueueSize }
@@ -347,7 +414,12 @@ func (c *Controller) issue(now uint64) {
 		if now-r.Arrival < delay {
 			// DMS: let the request age in the queue; attribute the blocked
 			// cycle to the bank so per-bank telemetry shows where DMS bites.
+			// The audit counts one delay-hold decision per held bank per
+			// cycle, so its total reconciles exactly with DMSDelayCycles.
 			c.st.Bank(b).DMSDelayCycles++
+			if c.aud != nil {
+				c.auditSampled(now, r, obs.ReasonDMSDelayHold)
+			}
 			continue
 		}
 		var a action
@@ -379,6 +451,12 @@ func (c *Controller) issue(now uint64) {
 		c.ch.Precharge(best.req.Coord.Bank, now)
 	default:
 		c.ch.Activate(best.req.Coord.Bank, best.req.Coord.Row, now)
+		// Delay-budget expiry: the request aged past a non-zero in-force
+		// delay and its row is now being opened (recorded once per
+		// activation, not for the preceding precharge).
+		if c.aud != nil && delay > 0 {
+			c.audit(now, best.req, obs.ReasonDMSDelayExpired)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 package mc
 
-import "lazydram/internal/stats"
+import (
+	"lazydram/internal/obs"
+	"lazydram/internal/stats"
+)
 
 // Profiling constants shared by Dyn-DMS and Dyn-AMS (Section IV-B/IV-C).
 const (
@@ -36,6 +39,17 @@ const (
 	dmsSettled
 )
 
+func (p dmsPhase) String() string {
+	switch p {
+	case dmsSampling:
+		return "sampling"
+	case dmsSearching:
+		return "searching"
+	default:
+		return "settled"
+	}
+}
+
 // dmsUnit implements Static-DMS and Dyn-DMS. For Static mode the delay is
 // fixed; for Dyn mode the unit samples the baseline bandwidth utilization
 // with delay 0 (AMS halted), then walks the delay in DelayStep increments
@@ -57,6 +71,9 @@ type dmsUnit struct {
 	// warmup marks the first window after a delay change, whose BWUTIL is
 	// polluted by the transition transient and therefore not judged.
 	warmup bool
+
+	aud     *obs.AuditLog // nil unless the decision audit is enabled
+	channel int
 }
 
 func newDMSUnit(s Scheme, window uint64) *dmsUnit {
@@ -76,14 +93,14 @@ func (u *dmsUnit) tick(now uint64, st *stats.Mem) (amsHalted bool) {
 		return false
 	}
 	if now-u.winStart >= u.window {
-		u.windowEnd(st)
+		u.windowEnd(now, st)
 		u.winStart = now
 		u.busyAtWinStart = st.DataBusBusy
 	}
 	return u.phase == dmsSampling
 }
 
-func (u *dmsUnit) windowEnd(st *stats.Mem) {
+func (u *dmsUnit) windowEnd(now uint64, st *stats.Mem) {
 	bw := float64(st.DataBusBusy-u.busyAtWinStart) / float64(u.window)
 	u.winCount++
 	switch u.phase {
@@ -131,6 +148,18 @@ func (u *dmsUnit) windowEnd(st *stats.Mem) {
 		u.winCount = 0
 		u.phase = dmsSampling
 		u.delay = 0
+	}
+	if u.aud != nil {
+		// One adaptation point per window: the delay in force after the
+		// window decision, the BWUTIL that drove it, and the search phase.
+		u.aud.RecordAdapt(obs.AdaptPoint{
+			Cycle:   now,
+			Channel: u.channel,
+			Unit:    "dms",
+			Delay:   u.delay,
+			BWUtil:  bw,
+			Phase:   u.phase.String(),
+		})
 	}
 }
 

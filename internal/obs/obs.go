@@ -142,11 +142,20 @@ type Options struct {
 	// MetricsEvery is the publication interval for Metrics in memory cycles
 	// (0 picks a default).
 	MetricsEvery uint64
+	// AuditCapacity bounds the scheduler decision-audit ring (0 disables the
+	// decision log). Per-reason counters stay exact regardless of ring wrap.
+	AuditCapacity int
+	// Quality enables approximation-quality telemetry: every AMS-dropped
+	// line's predicted bytes are scored against the functional ground truth.
+	Quality bool
+	// QualityWorst bounds the worst-offenders list (0 picks a default).
+	QualityWorst int
 }
 
 // Enabled reports whether any feature is on.
 func (o Options) Enabled() bool {
-	return o.Latency || o.SampleEvery > 0 || o.TraceCapacity > 0 || o.Metrics != nil
+	return o.Latency || o.SampleEvery > 0 || o.TraceCapacity > 0 ||
+		o.Metrics != nil || o.AuditCapacity > 0 || o.Quality
 }
 
 // Collector owns the per-run observability state. A nil *Collector (the
@@ -156,6 +165,8 @@ type Collector struct {
 	Sampler *Sampler
 	Trace   *CmdTrace
 	Metrics *Registry
+	Audit   *AuditLog
+	Quality *QualityLog
 }
 
 // NewCollector builds a collector for the options, or nil when everything is
@@ -173,6 +184,12 @@ func NewCollector(o Options) *Collector {
 	}
 	if o.TraceCapacity > 0 {
 		c.Trace = NewCmdTrace(o.TraceCapacity)
+	}
+	if o.AuditCapacity > 0 {
+		c.Audit = NewAuditLog(o.AuditCapacity)
+	}
+	if o.Quality {
+		c.Quality = NewQualityLog(o.QualityWorst)
 	}
 	c.Metrics = o.Metrics
 	return c
@@ -193,6 +210,8 @@ func (c *Collector) Telemetry() *Telemetry {
 		t.TraceCmds = c.Trace.Total()
 		t.TraceDropped = c.Trace.Dropped()
 	}
+	t.Audit = c.Audit.Summary()
+	t.Quality = c.Quality.Summary()
 	return t
 }
 
@@ -209,4 +228,8 @@ type Telemetry struct {
 	// TraceDropped how many were overwritten after the ring wrapped.
 	TraceCmds    uint64 `json:"trace_cmds,omitempty"`
 	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+	// Audit digests the scheduler decision log; Quality the approximation
+	// error telemetry. Both are nil when the feature was off.
+	Audit   *AuditSummary   `json:"audit,omitempty"`
+	Quality *QualitySummary `json:"quality,omitempty"`
 }

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func lineBytes(words ...float32) []byte {
+	out := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(w))
+	}
+	return out
+}
+
+func TestQualityLogNilSafe(t *testing.T) {
+	var q *QualityLog
+	q.RecordLine(1, 2, lineBytes(1), lineBytes(2))
+	if q.Lines() != 0 || q.Words() != 0 || q.MeanRel() != 0 || q.MaxRel() != 0 {
+		t.Fatal("nil log reported data")
+	}
+	if q.Summary() != nil {
+		t.Fatal("nil log returned a summary")
+	}
+}
+
+func TestQualityLogScoresWords(t *testing.T) {
+	q := NewQualityLog(4)
+	// truth 2.0 predicted 1.0 -> abs 1, rel 0.5; truth 4.0 exact -> 0.
+	q.RecordLine(100, 0x1000, lineBytes(1, 4), lineBytes(2, 4))
+	if q.Lines() != 1 || q.Words() != 2 {
+		t.Fatalf("lines=%d words=%d, want 1/2", q.Lines(), q.Words())
+	}
+	if got := q.MeanRel(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("mean rel = %g, want 0.25", got)
+	}
+	if got := q.MaxRel(); got != 0.5 {
+		t.Fatalf("max rel = %g, want 0.5", got)
+	}
+	s := q.Summary()
+	if math.Abs(s.MeanAbsError-0.5) > 1e-12 {
+		t.Fatalf("mean abs = %g, want 0.5", s.MeanAbsError)
+	}
+	if len(s.Worst) != 1 || s.Worst[0].Addr != 0x1000 || s.Worst[0].Cycle != 100 {
+		t.Fatalf("worst offender not recorded: %+v", s.Worst)
+	}
+	if s.Worst[0].MaxRel != 0.5 {
+		t.Fatalf("worst MaxRel = %g, want 0.5", s.Worst[0].MaxRel)
+	}
+}
+
+func TestQualityLogNonFiniteConventions(t *testing.T) {
+	q := NewQualityLog(4)
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	// Word 0: non-finite truth -> skipped entirely.
+	// Word 1: finite truth, NaN prediction -> clamped maximal error.
+	// Word 2: rel error above the clamp (truth 1e-30 vs pred 1) -> relErrMax.
+	q.RecordLine(1, 0, lineBytes(5, nan, 1), lineBytes(inf, 1, 1e-30))
+	if q.Words() != 2 {
+		t.Fatalf("words = %d, want 2 (non-finite truth skipped)", q.Words())
+	}
+	if q.Summary().SkippedWords != 1 {
+		t.Fatalf("skipped = %d, want 1", q.Summary().SkippedWords)
+	}
+	if got := q.MaxRel(); got != relErrMax {
+		t.Fatalf("max rel = %g, want clamp %g", got, float64(relErrMax))
+	}
+	for _, rel := range []float64{q.Summary().RelP50, q.Summary().RelP99} {
+		if math.IsNaN(rel) || math.IsInf(rel, 0) {
+			t.Fatal("quantiles must stay finite")
+		}
+		if rel > q.MaxRel() {
+			t.Fatalf("quantile %g exceeds the observed max %g", rel, q.MaxRel())
+		}
+	}
+}
+
+func TestQualityWorstOffendersSortedAndBounded(t *testing.T) {
+	q := NewQualityLog(2)
+	q.RecordLine(1, 0xa, lineBytes(1), lineBytes(2))   // rel 1.0
+	q.RecordLine(2, 0xb, lineBytes(3), lineBytes(2))   // rel 0.5
+	q.RecordLine(3, 0xc, lineBytes(2.2), lineBytes(2)) // rel 0.1 -> evicted
+	w := q.Summary().Worst
+	if len(w) != 2 {
+		t.Fatalf("kept %d offenders, want cap 2", len(w))
+	}
+	if w[0].Addr != 0xa || w[1].Addr != 0xb {
+		t.Fatalf("offenders not sorted by mean rel desc: %+v", w)
+	}
+}
+
+func TestErrHistQuantilesAndBuckets(t *testing.T) {
+	var h ErrHist
+	for i := 0; i < 90; i++ {
+		h.Observe(0)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.005) // decade [1e-3, 1e-2)
+	}
+	h.Observe(3.5) // decade [1, 10)
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("p50 = %g, want 0", got)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 1e-3 || p99 >= 1e-2 {
+		t.Fatalf("p99 = %g, want within [1e-3, 1e-2)", p99)
+	}
+	if h.Max() != 3.5 {
+		t.Fatalf("max = %g, want 3.5", h.Max())
+	}
+	bks := h.Buckets()
+	if len(bks) != 3 {
+		t.Fatalf("buckets = %d, want 3 non-empty", len(bks))
+	}
+	if bks[0].Lo != 0 || bks[0].Hi != 0 || bks[0].Count != 90 {
+		t.Fatalf("zero bucket wrong: %+v", bks[0])
+	}
+	if bks[1].Count != 9 || bks[2].Count != 1 {
+		t.Fatalf("decade buckets wrong: %+v", bks)
+	}
+	// Range clamps: tiny values land in "under", huge in the top decade.
+	var c ErrHist
+	c.Observe(1e-30)
+	c.Observe(1e30)
+	if got := len(c.Buckets()); got != 2 {
+		t.Fatalf("clamped observations produced %d buckets, want 2", got)
+	}
+}
+
+func TestQualityLogTruncatedLine(t *testing.T) {
+	q := NewQualityLog(4)
+	// Prediction shorter than truth: only the common words are scored.
+	q.RecordLine(1, 0, lineBytes(1, 2), lineBytes(1, 2, 3))
+	if q.Words() != 2 {
+		t.Fatalf("words = %d, want 2 (min of both lengths)", q.Words())
+	}
+}

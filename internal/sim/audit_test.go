@@ -1,0 +1,191 @@
+package sim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"lazydram/internal/mc"
+	"lazydram/internal/obs"
+	"lazydram/internal/sim"
+)
+
+// TestAuditReconcilesEndToEnd is the issue's acceptance check: over a full
+// simulation the audited decision counts must reconcile exactly with the
+// stats.Mem aggregates — drops with Run.Mem.Dropped, delay holds with the
+// per-bank DMSDelayCycles matrix — and the quality log must have scored
+// every dropped line.
+func TestAuditReconcilesEndToEnd(t *testing.T) {
+	res := simulate(t, "SCP", mc.DynBoth, func(cfg *sim.Config) {
+		cfg.Obs = obs.Options{AuditCapacity: 1 << 14, Quality: true}
+	})
+	if res.Audit == nil {
+		t.Fatal("Result.Audit nil with AuditCapacity set")
+	}
+	if res.Run.Mem.Dropped == 0 {
+		t.Fatal("run dropped nothing; reconciliation test is vacuous")
+	}
+
+	// Sum of AMS drop decisions == stats drop aggregate.
+	if got := res.Audit.Count(obs.ReasonAMSDrop); got != res.Run.Mem.Dropped {
+		t.Errorf("audited drops %d != Run.Mem.Dropped %d", got, res.Run.Mem.Dropped)
+	}
+	// Sum of DMS delay-hold decisions == the per-bank delay-cycle aggregate
+	// (the audit log is shared across every channel's controller).
+	var holds uint64
+	for _, b := range res.Run.Mem.Banks {
+		holds += b.DMSDelayCycles
+	}
+	if holds == 0 {
+		t.Fatal("run recorded no DMS delay cycles; reconciliation test is vacuous")
+	}
+	if got := res.Audit.Count(obs.ReasonDMSDelayHold); got != holds {
+		t.Errorf("audited delay holds %d != sum of Bank.DMSDelayCycles %d", got, holds)
+	}
+
+	// Per-channel drop decisions decompose the total exactly.
+	perCh := map[int]uint64{}
+	for _, d := range res.Audit.Entries() {
+		if d.Reason == obs.ReasonAMSDrop {
+			perCh[d.Channel]++
+		}
+	}
+	if res.Audit.Summary().RingDropped == 0 {
+		var sum uint64
+		for ch, n := range perCh {
+			if ch < 0 || ch >= res.Run.Mem.NumChannels {
+				t.Errorf("decision carries invalid channel %d", ch)
+			}
+			sum += n
+		}
+		if sum != res.Run.Mem.Dropped {
+			t.Errorf("per-channel drop decisions sum to %d, want %d", sum, res.Run.Mem.Dropped)
+		}
+	}
+
+	// Quality telemetry scored exactly the dropped lines.
+	tel := res.Telemetry
+	if tel == nil || tel.Quality == nil {
+		t.Fatal("Telemetry.Quality nil with Quality enabled")
+	}
+	if tel.Quality.Lines != res.Run.Mem.Dropped {
+		t.Errorf("quality scored %d lines, want Dropped %d", tel.Quality.Lines, res.Run.Mem.Dropped)
+	}
+	if tel.Quality.Words == 0 {
+		t.Error("quality scored no words")
+	}
+	if tel.Quality.MeanRelError < 0 || tel.Quality.MaxRelError < tel.Quality.MeanRelError {
+		t.Errorf("quality error stats inconsistent: mean %g max %g",
+			tel.Quality.MeanRelError, tel.Quality.MaxRelError)
+	}
+
+	// The audit digest rides the telemetry and round-trips through JSON.
+	if tel.Audit == nil {
+		t.Fatal("Telemetry.Audit nil with AuditCapacity set")
+	}
+	if tel.Audit.Total != res.Audit.Total() {
+		t.Errorf("summary total %d != log total %d", tel.Audit.Total, res.Audit.Total())
+	}
+	var kindSum uint64
+	for _, rc := range tel.Audit.Reasons {
+		kindSum += rc.Count
+	}
+	if kindSum != tel.Audit.Total {
+		t.Errorf("reason counts sum to %d, want total %d", kindSum, tel.Audit.Total)
+	}
+	if tel.Audit.AMSDrops != res.Run.Mem.Dropped {
+		t.Errorf("summary AMSDrops %d != Dropped %d", tel.Audit.AMSDrops, res.Run.Mem.Dropped)
+	}
+	raw, err := json.Marshal(tel)
+	if err != nil {
+		t.Fatalf("telemetry not serializable: %v", err)
+	}
+	var back struct {
+		Audit   *obs.AuditSummary   `json:"audit"`
+		Quality *obs.QualitySummary `json:"quality"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Audit == nil || back.Audit.Total != tel.Audit.Total {
+		t.Error("audit summary did not survive the JSON round trip")
+	}
+	if back.Quality == nil || back.Quality.Lines != tel.Quality.Lines {
+		t.Error("quality summary did not survive the JSON round trip")
+	}
+
+	// The JSONL export emits one valid object per retained decision.
+	var buf bytes.Buffer
+	if err := res.Audit.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(buf.Bytes(), []byte{'\n'})
+	if want := len(res.Audit.Entries()); lines != want {
+		t.Errorf("JSONL export has %d lines, want %d", lines, want)
+	}
+}
+
+// TestAuditDoesNotPerturbRun: enabling the decision audit and quality
+// scoring must not change simulation results.
+func TestAuditDoesNotPerturbRun(t *testing.T) {
+	off := simulate(t, "MVT", mc.DynBoth)
+	on := simulate(t, "MVT", mc.DynBoth, func(cfg *sim.Config) {
+		cfg.Obs = obs.Options{AuditCapacity: 1 << 12, Quality: true}
+	})
+	if off.Run.CoreCycles != on.Run.CoreCycles ||
+		off.Run.Mem.Activations != on.Run.Mem.Activations ||
+		off.Run.Mem.Dropped != on.Run.Mem.Dropped ||
+		off.Run.AppError != on.Run.AppError {
+		t.Fatalf("audit perturbed the run: %+v vs %+v", off.Run, on.Run)
+	}
+	if len(off.Output) != len(on.Output) {
+		t.Fatal("output lengths differ")
+	}
+	for i := range off.Output {
+		if off.Output[i] != on.Output[i] {
+			t.Fatalf("output diverged at %d", i)
+		}
+	}
+}
+
+// TestDynAdaptTraceEndToEnd checks the Dyn controllers leave a usable
+// adaptation trace: both units report, cycles are window-aligned and
+// non-decreasing per channel, and thresholds stay within the paper's bounds.
+func TestDynAdaptTraceEndToEnd(t *testing.T) {
+	res := simulate(t, "SCP", mc.DynBoth, func(cfg *sim.Config) {
+		cfg.Obs = obs.Options{AuditCapacity: 1 << 12}
+	})
+	pts := res.Audit.Adapt()
+	if len(pts) == 0 {
+		t.Fatal("Dyn run produced no adaptation trace")
+	}
+	units := map[string]int{}
+	last := map[[2]any]uint64{}
+	for _, p := range pts {
+		units[p.Unit]++
+		key := [2]any{p.Unit, p.Channel}
+		if p.Cycle < last[key] {
+			t.Fatalf("adapt trace not ordered for %s ch%d: %d after %d",
+				p.Unit, p.Channel, p.Cycle, last[key])
+		}
+		last[key] = p.Cycle
+		switch p.Unit {
+		case "ams":
+			if p.ThRBL < mc.MinThRBL || p.ThRBL > mc.MaxThRBL {
+				t.Fatalf("adapt thRBL %d outside [%d,%d]", p.ThRBL, mc.MinThRBL, mc.MaxThRBL)
+			}
+		case "dms":
+			if p.Delay < 0 {
+				t.Fatalf("adapt delay %d negative", p.Delay)
+			}
+			if p.Phase == "" {
+				t.Fatal("dms adapt point missing phase")
+			}
+		default:
+			t.Fatalf("unknown adapt unit %q", p.Unit)
+		}
+	}
+	if units["ams"] == 0 || units["dms"] == 0 {
+		t.Fatalf("adaptation trace missing a unit: %v", units)
+	}
+}

@@ -27,9 +27,11 @@ type Result struct {
 	VPPredictions uint64
 	VPFallbacks   uint64
 	// Telemetry holds the run's observability digest (nil when Config.Obs is
-	// disabled); Trace the raw DRAM command ring for file export.
+	// disabled); Trace the raw DRAM command ring for file export; Audit the
+	// raw scheduler decision log for JSONL export.
 	Telemetry *obs.Telemetry
 	Trace     *obs.CmdTrace
+	Audit     *obs.AuditLog
 	// Channels holds one statistics snapshot per memory channel (deep
 	// copies, in channel order) — the unmerged channel × bank counter
 	// matrix behind Run.Mem's aggregates.
@@ -335,6 +337,7 @@ func (g *GPU) collect() *Result {
 		g.sampler.Flush(g.memCycle, g.probeSample)
 		res.Telemetry = g.col.Telemetry()
 		res.Trace = g.col.Trace
+		res.Audit = g.col.Audit
 	}
 	if g.met != nil {
 		g.publishMetrics() // final state, after the run has drained

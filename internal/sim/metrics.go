@@ -30,6 +30,10 @@ type gpuMetrics struct {
 
 	bankActs, bankHits, bankMisses, bankConfl,
 	bankDelay, bankDrops, bankRowE [][]*obs.Metric
+
+	auditReasons []*obs.Metric // indexed by obs.Reason
+	qualLines, qualWords,
+	qualMeanRel, qualMaxRel *obs.Metric
 }
 
 func newGPUMetrics(reg *obs.Registry, app, scheme string, nch, nbanks int, every uint64) *gpuMetrics {
@@ -50,6 +54,17 @@ func newGPUMetrics(reg *obs.Registry, app, scheme string, nch, nbanks int, every
 	}
 	reg.Register("lazysim_run_info", "Constant 1, labeled with the run's app and scheme",
 		obs.KindGauge, "app", "scheme").With(app, scheme).Set(1)
+
+	aud := reg.Register("lazysim_audit_decisions_total",
+		"Scheduler decisions recorded by the audit log, by unit and reason",
+		obs.KindCounter, "unit", "reason")
+	for r := obs.Reason(0); r < obs.NumReasons; r++ {
+		m.auditReasons = append(m.auditReasons, aud.With(r.Unit(), r.String()))
+	}
+	m.qualLines = reg.Counter("lazysim_quality_lines_total", "AMS-dropped lines scored against ground truth")
+	m.qualWords = reg.Counter("lazysim_quality_words_total", "Finite ground-truth words scored against predictions")
+	m.qualMeanRel = reg.Gauge("lazysim_quality_mean_rel_error", "Mean per-word relative error of value-predicted lines")
+	m.qualMaxRel = reg.Gauge("lazysim_quality_max_rel_error", "Largest per-word relative error of value-predicted lines")
 
 	chActs := reg.Register("lazysim_channel_activations_total", "Row activations per channel", obs.KindCounter, "channel")
 	chReads := reg.Register("lazysim_channel_reads_total", "DRAM column reads per channel", obs.KindCounter, "channel")
@@ -160,4 +175,18 @@ func (g *GPU) publishMetrics() {
 	}
 	m.delay.Set(float64(delay))
 	m.thRBL.Set(float64(th))
+
+	if g.col != nil {
+		if a := g.col.Audit; a != nil {
+			for r, metric := range m.auditReasons {
+				metric.Set(float64(a.Count(obs.Reason(r))))
+			}
+		}
+		if q := g.col.Quality; q != nil {
+			m.qualLines.Set(float64(q.Lines()))
+			m.qualWords.Set(float64(q.Words()))
+			m.qualMeanRel.Set(q.MeanRel())
+			m.qualMaxRel.Set(q.MaxRel())
+		}
+	}
 }

@@ -65,7 +65,8 @@ type partition struct {
 	vp    approx.Predictor
 	nlVP  *approx.VPUnit // non-nil when VPKind is "nearest"
 	st    stats.Mem
-	tr    *obs.Tracer // nil unless lifecycle tracing is enabled
+	tr    *obs.Tracer     // nil unless lifecycle tracing is enabled
+	qual  *obs.QualityLog // nil unless approximation-quality telemetry is on
 
 	wbQueue    []wbEntry
 	done       doneHeap
@@ -80,6 +81,7 @@ func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotat
 	p.dchan = dram.NewChannel(cfg.DRAM, &p.st)
 	if col != nil {
 		p.tr = col.Tracer
+		p.qual = col.Quality
 		p.dchan.SetTrace(col.Trace, id)
 	}
 	switch cfg.VPKind {
@@ -95,6 +97,9 @@ func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotat
 	mcCfg.Scheme = scheme
 	p.ctrl = mc.New(mcCfg, p.dchan, &p.st, p.onMCComplete, p.vp.Ready)
 	p.ctrl.SetTracer(p.tr)
+	if col != nil {
+		p.ctrl.SetAudit(col.Audit, id)
+	}
 	return p
 }
 
@@ -145,6 +150,13 @@ func (p *partition) finishFill(it doneItem) {
 	var data [cache.LineSize]byte
 	if it.approx {
 		data = p.vp.Predict(line)
+		if p.qual != nil {
+			// The image never sees predicted data, so it stays the ground
+			// truth this drop can be scored against.
+			var truth [cache.LineSize]byte
+			p.im.ReadLine(line, truth[:])
+			p.qual.RecordLine(it.readyAt, line, data[:], truth[:])
+		}
 	} else {
 		p.im.ReadLine(line, data[:])
 		p.vp.Observe(line, &data)
