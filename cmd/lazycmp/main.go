@@ -153,7 +153,7 @@ func numeric(v any) (float64, bool) {
 // flatten extracts the comparable numeric metrics from a report document:
 // top-level scalars (minus run identity and wall time), per-stage latency
 // digests keyed by stage name, the per-channel energy attribution, and the
-// audit/quality digests. Time series, per-bank rows, and the hottest-bank
+// audit/quality/fault digests. Time series, per-bank rows, and the hottest-bank
 // summary are derived views and stay out of the gate. Non-finite values are
 // diverted to the skipped list instead of entering the comparable set,
 // where a NaN would neither equal itself (silent pass under exact-match)
@@ -234,12 +234,18 @@ func flatten(doc map[string]any) (out map[string]float64, skipped []string) {
 				}
 			}
 			if qm, ok := m["quality"].(map[string]any); ok {
-				for _, f := range []string{"lines", "words", "skipped_words",
-					"mean_abs_error", "mean_rel_error",
-					"rel_p50", "rel_p90", "rel_p99", "max_rel_error"} {
-					if x, ok := qm[f]; ok {
-						put("quality."+f, x)
+				putQuality(put, "quality.", qm)
+			}
+			if fm, ok := m["fault"].(map[string]any); ok {
+				for _, f := range []string{"seed", "bus_ber", "weak_density",
+					"reads", "corrupted_reads", "act_flips", "ret_flips",
+					"bus_flips", "total_flips", "weak_rows", "weak_cells", "digest"} {
+					if x, ok := fm[f]; ok {
+						put("fault."+f, x)
 					}
+				}
+				if qm, ok := fm["quality"].(map[string]any); ok {
+					putQuality(put, "fault.quality.", qm)
 				}
 			}
 		default:
@@ -247,6 +253,18 @@ func flatten(doc map[string]any) (out map[string]float64, skipped []string) {
 		}
 	}
 	return out, skipped
+}
+
+// putQuality flattens one QualitySummary map (the AMS-drop log and the
+// injected-fault log share the shape) under the given key prefix.
+func putQuality(put func(string, any), prefix string, qm map[string]any) {
+	for _, f := range []string{"lines", "words", "skipped_words",
+		"mean_abs_error", "mean_rel_error",
+		"rel_p50", "rel_p90", "rel_p99", "max_rel_error"} {
+		if x, ok := qm[f]; ok {
+			put(prefix+f, x)
+		}
+	}
 }
 
 // thresholdRule is one "-thresholds" entry; Pattern with a trailing *

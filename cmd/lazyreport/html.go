@@ -200,6 +200,43 @@ func writeDoc(b *strings.Builder, d *runDoc, named bool) {
 	if t != nil && t.Quality != nil {
 		writeQualitySection(b, t.Quality, suffix)
 	}
+	if t != nil && t.Fault != nil {
+		writeFaultSection(b, t.Fault, suffix)
+	}
+}
+
+func writeFaultSection(b *strings.Builder, f *faultSummary, suffix string) {
+	openSection(b, "Fault injection"+suffix,
+		fmt.Sprintf("Deterministic DRAM error model (seed %d, bus BER %s, weak-cell density %s): per-mode injected flips and the error they caused in the returned data.",
+			f.Seed, fnum(f.BusBER), fnum(f.WeakDensity)))
+	writeTiles(b, []tile{
+		{"reads offered", fnum(float64(f.Reads))},
+		{"corrupted reads", fnum(float64(f.CorruptedReads))},
+		{"total flips", fnum(float64(f.TotalFlips))},
+		{"weak rows", fnum(float64(f.WeakRows))},
+		{"weak cells", fnum(float64(f.WeakCells))},
+		{"digest", fmt.Sprintf("%016x", f.Digest)},
+	})
+	modes := []barRow{
+		{Label: "activation (reduced-tRCD)", Value: float64(f.ActFlips), Class: "s2"},
+		{Label: "retention (over-aged row)", Value: float64(f.RetFlips), Class: "s3"},
+		{Label: "bus transient", Value: float64(f.BusFlips), Class: "s1"},
+	}
+	mini(b, "injected flips by mode", barChart(modes))
+	if q := f.Quality; q != nil && q.Lines > 0 {
+		writeTiles(b, []tile{
+			{"corrupted lines scored", fnum(float64(q.Lines))},
+			{"words", fnum(float64(q.Words))},
+			{"mean rel error", fnum(q.MeanRelError)},
+			{"rel p99", fnum(q.RelP99)},
+			{"max rel error", fnum(q.MaxRelError)},
+		})
+		b.WriteString(`<div class="minis">`)
+		mini(b, "injected relative error histogram (words)", barChart(histRows(q.RelHist, "s2")))
+		mini(b, "injected absolute error histogram (words)", barChart(histRows(q.AbsHist, "s2")))
+		b.WriteString("</div>\n")
+	}
+	b.WriteString("</section>\n")
 }
 
 func writeAuditSection(b *strings.Builder, a *auditSummary, suffix string) {

@@ -137,6 +137,25 @@ type telemetry struct {
 	Series      []sample        `json:"series"`
 	Audit       *auditSummary   `json:"audit"`
 	Quality     *qualitySummary `json:"quality"`
+	Fault       *faultSummary   `json:"fault"`
+}
+
+type faultSummary struct {
+	Seed        int64   `json:"seed"`
+	BusBER      float64 `json:"bus_ber"`
+	WeakDensity float64 `json:"weak_density"`
+
+	Reads          uint64 `json:"reads"`
+	CorruptedReads uint64 `json:"corrupted_reads"`
+	ActFlips       uint64 `json:"act_flips"`
+	RetFlips       uint64 `json:"ret_flips"`
+	BusFlips       uint64 `json:"bus_flips"`
+	TotalFlips     uint64 `json:"total_flips"`
+	WeakRows       uint64 `json:"weak_rows"`
+	WeakCells      uint64 `json:"weak_cells"`
+	Digest         uint64 `json:"digest"`
+
+	Quality *qualitySummary `json:"quality"`
 }
 
 type stageSummary struct {

@@ -28,6 +28,21 @@
 //	                 (error histograms + worst offenders in the telemetry)
 //	-pprof ADDR      serve net/http/pprof on ADDR (e.g. localhost:6060)
 //	-cpuprofile FILE write a CPU profile of the run
+//
+// Fault injection (the DRAM error model):
+//
+//	-fault               enable the deterministic DRAM error model
+//	-fault-ber R         bus transient bit-error rate per read burst
+//	-fault-weak-density D fraction of each row's bits that are weak cells
+//	                     (activation/retention failure sites)
+//	-fault-seed S        fault-model RNG seed (0: reuse -seed)
+//	-fault-retention N   open-row age in memory cycles past which reads
+//	                     suffer retention flips
+//
+// A fault run always scores the workload output against the pristine golden
+// run (app_error) and emits a telemetry.fault block in -json with per-mode
+// injection counts, the weak-cell census, a determinism digest, and the
+// injected-error histogram.
 package main
 
 import (
@@ -77,6 +92,12 @@ func main() {
 
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+
+		faultOn        = flag.Bool("fault", false, "enable the deterministic DRAM error model")
+		faultBER       = flag.Float64("fault-ber", 0, "bus transient bit-error rate per read burst")
+		faultDensity   = flag.Float64("fault-weak-density", 0, "fraction of each row's bits that are weak cells")
+		faultSeed      = flag.Int64("fault-seed", 0, "fault-model RNG seed (0: reuse -seed)")
+		faultRetention = flag.Uint64("fault-retention", 0, "open-row age (memory cycles) past which reads suffer retention flips (0: default)")
 	)
 	flag.Parse()
 
@@ -130,6 +151,15 @@ func main() {
 		cfg.Obs.AuditCapacity = *auditCap
 	}
 	cfg.Obs.Quality = *quality
+	if *faultOn {
+		cfg.Fault.Enabled = true
+		cfg.Fault.BusBER = *faultBER
+		cfg.Fault.WeakCellDensity = *faultDensity
+		cfg.Fault.Seed = *faultSeed
+		if *faultRetention > 0 {
+			cfg.Fault.RetentionThreshold = *faultRetention
+		}
+	}
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		cfg.Obs.Metrics = reg
@@ -151,10 +181,11 @@ func main() {
 	wall := time.Since(start)
 
 	// The golden functional run is only needed when the scheme can perturb
-	// the output (AMS value prediction); exact schemes are bit-identical by
-	// construction, so skip the duplicate work unless -golden forces the
-	// check. The kernel instance is reused: Setup is deterministic per seed.
-	if sch.AMS != mc.Off || *golden {
+	// the output (AMS value prediction or injected faults); exact schemes are
+	// bit-identical by construction, so skip the duplicate work unless
+	// -golden forces the check. The kernel instance is reused: Setup is
+	// deterministic per seed.
+	if sch.AMS != mc.Off || *faultOn || *golden {
 		goldenOut := sim.RunFunctional(kern, *seed)
 		res.Run.AppError = approx.MeanRelativeError(goldenOut, res.Output)
 	}
@@ -189,6 +220,15 @@ func main() {
 		q := res.Telemetry.Quality
 		fmt.Printf("  quality: %d dropped lines, mean rel err %.4g (p99 %.4g, max %.4g)\n",
 			q.Lines, q.MeanRelError, q.RelP99, q.MaxRelError)
+	}
+	if res.Telemetry != nil && res.Telemetry.Fault != nil {
+		f := res.Telemetry.Fault
+		fmt.Printf("  fault: %d/%d corrupted reads, flips act=%d ret=%d bus=%d (digest %016x)\n",
+			f.CorruptedReads, f.Reads, f.ActFlips, f.RetFlips, f.BusFlips, f.Digest)
+		if q := f.Quality; q != nil && q.Lines > 0 {
+			fmt.Printf("  fault-error: %d corrupted lines, mean rel err %.4g (p99 %.4g, max %.4g)\n",
+				q.Lines, q.MeanRelError, q.RelP99, q.MaxRelError)
+		}
 	}
 	if hot := energy.TopBanks(res.EnergyByChannel, 3); len(hot) > 0 {
 		fmt.Printf("  hot banks:")

@@ -85,6 +85,10 @@ type Bank struct {
 	nextWrite uint64
 	nextPre   uint64
 
+	// openedAt is the cycle of the current activation's ACT, giving the
+	// fault model the open-row age for retention-error classification.
+	openedAt uint64
+
 	// Accounting for the current activation, consumed when the row closes.
 	served      int
 	servedReads int
@@ -211,6 +215,21 @@ func (c *Channel) NumBanks() int { return len(c.banks) }
 // OpenRow returns the currently open row of bank b, or NoRow.
 func (c *Channel) OpenRow(b int) int64 { return c.banks[b].OpenRow }
 
+// ActServed returns how many column accesses the current activation of bank
+// b has served so far (0 right after ACT: the next access is the
+// activation's first, the one exposed to reduced-tRCD sensing errors).
+func (c *Channel) ActServed(b int) int { return c.banks[b].served }
+
+// OpenAge returns how long bank b's row has been open at cycle now, in
+// memory cycles (0 when the bank is closed).
+func (c *Channel) OpenAge(b int, now uint64) uint64 {
+	bk := &c.banks[b]
+	if bk.OpenRow == NoRow || now < bk.openedAt {
+		return 0
+	}
+	return now - bk.openedAt
+}
+
 // CanActivate reports whether an ACT for bank b may issue at cycle now.
 // The bank must be precharged (closed).
 func (c *Channel) CanActivate(b int, now uint64) bool {
@@ -233,6 +252,7 @@ func (c *Channel) Activate(b int, row int64, now uint64) {
 	bk.readOnly = true
 	bk.conflictAct = bk.demandClosed
 	bk.demandClosed = false
+	bk.openedAt = now
 	c.nextActAny = now + t.RRD
 	c.stats.Activations++
 	c.stats.Bank(b).Activations++

@@ -18,7 +18,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table2", "energy",
-		"policies", "vp",
+		"policies", "vp", "fault",
 	}
 	ids := exp.IDs()
 	if len(ids) != len(want) {
@@ -150,6 +150,25 @@ func TestFig14WritesImages(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "fig14_approx.pgm") {
 		t.Fatalf("fig14 did not report its images:\n%s", buf.String())
+	}
+}
+
+func TestFaultExperiment(t *testing.T) {
+	e, _ := exp.Lookup("fault")
+	var buf bytes.Buffer
+	// Restrict the grid to one fast app; the retention table skips itself
+	// when FWT is excluded.
+	r := exp.NewRunner(exp.Options{Seed: 1, Apps: []string{"jmein"}})
+	if err := e.Run(r, &buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The zero/zero grid point must report exactly zero error delta.
+	if !strings.Contains(out, "+0.0000") {
+		t.Fatalf("fault sweep missing the zero-rate identity row:\n%s", out)
+	}
+	if !strings.Contains(out, "skipped: FWT not in app subset") {
+		t.Fatalf("retention table did not skip under a restricted app set:\n%s", out)
 	}
 }
 

@@ -37,7 +37,7 @@ var paperOrder = []string{
 	"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table2", "energy",
 	// Extras beyond the paper's artifact list:
-	"policies", "vp",
+	"policies", "vp", "fault",
 }
 
 // IDs returns all experiment ids in paper order.

@@ -1,0 +1,236 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"lazydram/internal/stats"
+)
+
+func enabledCfg(seed int64) Config {
+	c := DefaultConfig()
+	c.Enabled = true
+	c.Seed = seed
+	c.BusBER = 1e-4
+	c.WeakCellDensity = 1e-3
+	return c
+}
+
+// replayReads drives inj through a fixed access pattern and returns its
+// summary plus every per-read fault list.
+func replayReads(inj *Injector) (Summary, []*LineFaults) {
+	var out []*LineFaults
+	for bank := 0; bank < 4; bank++ {
+		for row := int64(0); row < 8; row++ {
+			for col := uint64(0); col < 2048; col += LineBytes {
+				first := col == 0
+				var age uint64
+				if col >= 1024 {
+					age = DefaultRetentionThreshold + col
+				}
+				out = append(out, inj.OnRead(bank, row, col, first, age))
+			}
+		}
+	}
+	return inj.Summary(), out
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	var st1, st2 stats.Mem
+	s1, f1 := replayReads(NewInjector(enabledCfg(42), 0, 2048, &st1))
+	s2, f2 := replayReads(NewInjector(enabledCfg(42), 0, 2048, &st2))
+	if s1 != s2 {
+		t.Fatalf("same seed, different summaries:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Digest == 0 || s1.TotalFlips() == 0 {
+		t.Fatalf("expected injected faults, got %+v", s1)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatal("same seed produced different per-read fault lists")
+	}
+}
+
+func TestDifferentSeedDiffers(t *testing.T) {
+	var st1, st2 stats.Mem
+	s1, _ := replayReads(NewInjector(enabledCfg(1), 0, 2048, &st1))
+	s2, _ := replayReads(NewInjector(enabledCfg(2), 0, 2048, &st2))
+	if s1.Digest == s2.Digest {
+		t.Fatalf("different seeds share digest %#x", s1.Digest)
+	}
+}
+
+func TestZeroRatesInjectNothing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Enabled = true
+	cfg.Seed = 7
+	var st stats.Mem
+	s, faults := replayReads(NewInjector(cfg, 0, 2048, &st))
+	if s.TotalFlips() != 0 || s.CorruptedReads != 0 || s.Digest != 0 {
+		t.Fatalf("zero BER and density injected faults: %+v", s)
+	}
+	for _, f := range faults {
+		if f != nil {
+			t.Fatal("zero-rate injector returned non-nil LineFaults")
+		}
+	}
+	if st.TotalFaultFlips() != 0 || st.FaultReads != 0 {
+		t.Fatalf("zero-rate injector moved stats counters: %+v", st)
+	}
+}
+
+func TestWeakRowsStableAndOrderIndependent(t *testing.T) {
+	cfg := enabledCfg(99)
+	cfg.WeakCellDensity = 0.01
+	var st1, st2 stats.Mem
+	a := NewInjector(cfg, 0, 2048, &st1)
+	b := NewInjector(cfg, 0, 2048, &st2)
+	// Touch the same rows in opposite orders; the weak maps must agree.
+	rows := []int64{5, 1, 9, 3}
+	for _, r := range rows {
+		a.weakRow(2, r)
+	}
+	for i := len(rows) - 1; i >= 0; i-- {
+		b.weakRow(2, rows[i])
+	}
+	for _, r := range rows {
+		wa, wb := a.weakRow(2, r), b.weakRow(2, r)
+		if !reflect.DeepEqual(wa, wb) {
+			t.Fatalf("row %d weak cells depend on query order: %v vs %v", r, wa, wb)
+		}
+		// Second query returns the identical cached list.
+		if !reflect.DeepEqual(wa, a.weakRow(2, r)) {
+			t.Fatalf("row %d weak cells unstable across queries", r)
+		}
+	}
+	// Different (bank, row) coordinates get decorrelated populations.
+	if reflect.DeepEqual(a.weakRow(0, 5), a.weakRow(1, 5)) && reflect.DeepEqual(a.weakRow(0, 5), a.weakRow(2, 5)) {
+		t.Fatal("weak cells identical across banks; row-local seeding broken")
+	}
+}
+
+func TestModeClassification(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Enabled = true
+	cfg.Seed = 5
+	cfg.WeakCellDensity = 1 // every bit weak: qualifying reads always flip
+	var st stats.Mem
+	inj := NewInjector(cfg, 0, 2048, &st)
+
+	// First access after ACT: activation mode.
+	f := inj.OnRead(0, 0, 0, true, 10)
+	if f == nil || f.Bits[0].Mode != ModeActivation {
+		t.Fatalf("first access not classified activation: %+v", f)
+	}
+	// Later access, young row: clean.
+	if f := inj.OnRead(0, 0, LineBytes, false, 10); f != nil {
+		t.Fatalf("young non-first access injected %d flips", f.Count())
+	}
+	// Later access, over-aged row: retention mode.
+	f = inj.OnRead(0, 0, 2*LineBytes, false, cfg.RetentionThreshold)
+	if f == nil || f.Bits[0].Mode != ModeRetention {
+		t.Fatalf("over-aged access not classified retention: %+v", f)
+	}
+	if st.FaultActFlips == 0 || st.FaultRetFlips == 0 || st.FaultBusFlips != 0 {
+		t.Fatalf("mode counters wrong: %+v", st)
+	}
+	// The RD counters the DRAM layer would have bumped alongside.
+	st.Reads, st.ReadReqs = 3, 3
+	st.Bank(0).Reads = 3
+	st.Bank(0).RowHits = 3
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyXORRoundTrip(t *testing.T) {
+	f := &LineFaults{Bits: []BitFlip{{Offset: 0}, {Offset: 9}, {Offset: 1023}}}
+	var data, orig [LineBytes]byte
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	orig = data
+	f.Apply(data[:])
+	if data == orig {
+		t.Fatal("Apply changed nothing")
+	}
+	if data[0]&1 == orig[0]&1 || data[1]&2 == orig[1]&2 || data[127]&0x80 == orig[127]&0x80 {
+		t.Fatal("Apply flipped the wrong bits")
+	}
+	f.Apply(data[:])
+	if data != orig {
+		t.Fatal("double Apply is not the identity")
+	}
+	var nilF *LineFaults
+	nilF.Apply(data[:]) // must not panic
+}
+
+func TestBusFlipsScaleWithBER(t *testing.T) {
+	count := func(ber float64) uint64 {
+		cfg := DefaultConfig()
+		cfg.Enabled = true
+		cfg.Seed = 11
+		cfg.BusBER = ber
+		var st stats.Mem
+		inj := NewInjector(cfg, 0, 2048, &st)
+		for i := 0; i < 4096; i++ {
+			inj.OnRead(0, int64(i%16), uint64(i%16)*LineBytes, false, 0)
+		}
+		return inj.Summary().BusFlips
+	}
+	lo, hi := count(1e-5), count(1e-3)
+	if hi <= lo {
+		t.Fatalf("bus flips do not scale with BER: %d at 1e-5 vs %d at 1e-3", lo, hi)
+	}
+	// Expectation at 1e-3 over 4096 lines of 1024 bits is ~4194 flips; allow
+	// a generous band around it.
+	if hi < 3000 || hi > 5600 {
+		t.Fatalf("bus flip count %d far from expectation ~4194", hi)
+	}
+}
+
+func TestStatsReconcile(t *testing.T) {
+	var st stats.Mem
+	inj := NewInjector(enabledCfg(3), 0, 2048, &st)
+	s, _ := replayReads(inj)
+	// Satisfy the Reads >= FaultReads invariant the DRAM layer normally
+	// provides before validating.
+	st.Reads = s.Reads
+	st.ReadReqs = s.Reads
+	if got := st.TotalFaultFlips(); got != s.TotalFlips() {
+		t.Fatalf("stats total %d != summary total %d", got, s.TotalFlips())
+	}
+	if st.FaultReads != s.CorruptedReads {
+		t.Fatalf("stats FaultReads %d != summary CorruptedReads %d", st.FaultReads, s.CorruptedReads)
+	}
+	var bankSum uint64
+	for i := range st.Banks {
+		bankSum += st.Banks[i].FaultFlips
+	}
+	if bankSum != st.TotalFaultFlips() {
+		t.Fatalf("bank matrix sum %d != per-mode total %d", bankSum, st.TotalFaultFlips())
+	}
+}
+
+func TestSummaryMergeAssociative(t *testing.T) {
+	mk := func(seed int64, ch int) Summary {
+		var st stats.Mem
+		s, _ := replayReads(NewInjector(enabledCfg(seed), ch, 2048, &st))
+		return s
+	}
+	a, b, c := mk(1, 0), mk(1, 1), mk(1, 2)
+	left := a
+	left.Merge(b)
+	left.Merge(c)
+	bc := b
+	bc.Merge(c)
+	right := a
+	right.Merge(bc)
+	// Digest folding is order-sensitive by design, so compare the counters.
+	left.Digest, right.Digest = 0, 0
+	if left != right {
+		t.Fatalf("Merge not associative:\n%+v\n%+v", left, right)
+	}
+	if left.TotalFlips() != a.TotalFlips()+b.TotalFlips()+c.TotalFlips() {
+		t.Fatal("merged totals do not sum")
+	}
+}

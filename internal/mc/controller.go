@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lazydram/internal/dram"
+	"lazydram/internal/fault"
 	"lazydram/internal/obs"
 	"lazydram/internal/stats"
 )
@@ -163,6 +164,8 @@ type Controller struct {
 
 	aud   *obs.AuditLog // nil unless the decision audit is enabled
 	audCh int           // channel tag stamped on audited decisions
+
+	inj *fault.Injector // nil unless fault injection is enabled
 }
 
 // New creates a controller in front of ch. onComplete must be non-nil;
@@ -214,6 +217,11 @@ func (c *Controller) SetAudit(a *obs.AuditLog, channel int) {
 		c.ams.channel = channel
 	}
 }
+
+// SetFaults attaches the channel's fault injector; every subsequent RD is
+// offered to it and the returned flips ride on the request for the fill path
+// to apply. A nil injector disables the hook.
+func (c *Controller) SetFaults(inj *fault.Injector) { c.inj = inj }
 
 // coverage returns the running prediction coverage (dropped / reads).
 func (c *Controller) coverage() float64 {
@@ -486,6 +494,13 @@ func (c *Controller) issueColumn(r *Request, now uint64) {
 	if r.Write {
 		ready = c.ch.Write(b, now)
 	} else {
+		// The injector classifies the burst from pre-RD bank state: the
+		// activation's first access is exposed to reduced-tRCD sensing
+		// errors, an over-aged open row to retention errors.
+		if c.inj != nil {
+			first := c.ch.ActServed(b) == 0
+			r.Faults = c.inj.OnRead(b, r.Coord.Row, r.Coord.Col, first, c.ch.OpenAge(b, now))
+		}
 		ready = c.ch.Read(b, now)
 	}
 	c.tr.Observe(obs.StageMCQueue, now-r.Arrival)

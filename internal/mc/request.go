@@ -16,7 +16,10 @@
 // paper.
 package mc
 
-import "lazydram/internal/dram"
+import (
+	"lazydram/internal/dram"
+	"lazydram/internal/fault"
+)
 
 // ReqState tracks the lifecycle of a request inside the pending queue.
 type ReqState uint8
@@ -46,6 +49,10 @@ type Request struct {
 	// Meta is an opaque upstream cookie (e.g. the MSHR entry) returned with
 	// the completion callback.
 	Meta any
+	// Faults carries the bit flips the fault model injected into this read's
+	// data burst (nil for clean bursts or when injection is off); the fill
+	// path applies them to the bytes returned upstream.
+	Faults *fault.LineFaults
 
 	state ReqState
 }

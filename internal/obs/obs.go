@@ -150,12 +150,17 @@ type Options struct {
 	Quality bool
 	// QualityWorst bounds the worst-offenders list (0 picks a default).
 	QualityWorst int
+	// FaultQuality enables injected-fault error telemetry: every
+	// fault-corrupted line is scored against its pristine bytes in a second
+	// QualityLog, kept separate from the AMS-drop log so the two error
+	// sources stay distinguishable.
+	FaultQuality bool
 }
 
 // Enabled reports whether any feature is on.
 func (o Options) Enabled() bool {
 	return o.Latency || o.SampleEvery > 0 || o.TraceCapacity > 0 ||
-		o.Metrics != nil || o.AuditCapacity > 0 || o.Quality
+		o.Metrics != nil || o.AuditCapacity > 0 || o.Quality || o.FaultQuality
 }
 
 // Collector owns the per-run observability state. A nil *Collector (the
@@ -167,6 +172,9 @@ type Collector struct {
 	Metrics *Registry
 	Audit   *AuditLog
 	Quality *QualityLog
+	// FaultQuality scores fault-corrupted lines (corrupted vs pristine
+	// bytes); separate from Quality, which scores AMS-dropped lines.
+	FaultQuality *QualityLog
 }
 
 // NewCollector builds a collector for the options, or nil when everything is
@@ -190,6 +198,9 @@ func NewCollector(o Options) *Collector {
 	}
 	if o.Quality {
 		c.Quality = NewQualityLog(o.QualityWorst)
+	}
+	if o.FaultQuality {
+		c.FaultQuality = NewQualityLog(o.QualityWorst)
 	}
 	c.Metrics = o.Metrics
 	return c
@@ -231,5 +242,33 @@ type Telemetry struct {
 	// Audit digests the scheduler decision log; Quality the approximation
 	// error telemetry. Both are nil when the feature was off.
 	Audit   *AuditSummary   `json:"audit,omitempty"`
+	Quality *QualitySummary `json:"quality,omitempty"`
+	// Fault digests the fault-injection run: per-mode flip counts, weak-cell
+	// census, the determinism digest, and the injected-error histogram. Nil
+	// when the fault model was off.
+	Fault *FaultSummary `json:"fault,omitempty"`
+}
+
+// FaultSummary is the serializable digest of a fault-injection run. It
+// mirrors the fault package's per-channel summaries (merged across channels
+// by sim) without obs importing it; Quality scores each corrupted line's
+// bytes against the pristine line.
+type FaultSummary struct {
+	Seed        int64   `json:"seed"`
+	BusBER      float64 `json:"bus_ber"`
+	WeakDensity float64 `json:"weak_density"`
+
+	Reads          uint64 `json:"reads"`
+	CorruptedReads uint64 `json:"corrupted_reads"`
+	ActFlips       uint64 `json:"act_flips"`
+	RetFlips       uint64 `json:"ret_flips"`
+	BusFlips       uint64 `json:"bus_flips"`
+	TotalFlips     uint64 `json:"total_flips"`
+	WeakRows       uint64 `json:"weak_rows"`
+	WeakCells      uint64 `json:"weak_cells"`
+	// Digest is an order-sensitive hash of every injected (location, mode)
+	// flip; two runs with the same fault seed must agree on it.
+	Digest uint64 `json:"digest"`
+
 	Quality *QualitySummary `json:"quality,omitempty"`
 }

@@ -13,6 +13,7 @@ import (
 	"lazydram/internal/core"
 	"lazydram/internal/dram"
 	"lazydram/internal/energy"
+	"lazydram/internal/fault"
 	"lazydram/internal/icnt"
 	"lazydram/internal/mc"
 	"lazydram/internal/memimage"
@@ -85,6 +86,12 @@ type Config struct {
 
 	Energy energy.Profile
 
+	// Fault configures the DRAM error model (disabled by default). When
+	// enabled, read bursts are corrupted per the configured weak-cell density
+	// and bit-error rate before their bytes reach the L2, and the run's
+	// telemetry gains a fault block.
+	Fault fault.Config
+
 	// MaxCoreCycles aborts runaway simulations.
 	MaxCoreCycles uint64
 
@@ -116,6 +123,7 @@ func DefaultConfig() Config {
 		VP:     approx.DefaultVPConfig(),
 		VPKind: "nearest",
 		Energy: energy.GDDR5(),
+		Fault:  fault.DefaultConfig(),
 
 		MaxCoreCycles: 200_000_000,
 	}

@@ -1,0 +1,151 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"lazydram/internal/approx"
+	"lazydram/internal/fault"
+	"lazydram/internal/mc"
+	"lazydram/internal/sim"
+)
+
+// withFault enables injection at the given rates (seed 0 defaults to the run
+// seed inside Simulate).
+func withFault(ber, density float64, seed int64) func(*sim.Config) {
+	return func(c *sim.Config) {
+		c.Fault = fault.DefaultConfig()
+		c.Fault.Enabled = true
+		c.Fault.BusBER = ber
+		c.Fault.WeakCellDensity = density
+		c.Fault.Seed = seed
+	}
+}
+
+// TestFaultZeroRatesBitIdentical is the non-perturbation oracle: turning the
+// injector on with every rate at zero must not change a single stat or output
+// byte relative to a fault-off run. This guards the hot read path — the hook
+// may branch, but must never draw from an RNG or touch data when idle.
+func TestFaultZeroRatesBitIdentical(t *testing.T) {
+	off := simulate(t, "SCP", mc.Baseline)
+	on := simulate(t, "SCP", mc.Baseline, withFault(0, 0, 0))
+	if !reflect.DeepEqual(off.Run, on.Run) {
+		t.Fatalf("zero-rate fault run perturbed stats:\noff: %+v\non:  %+v", off.Run, on.Run)
+	}
+	for i := range off.Output {
+		if off.Output[i] != on.Output[i] {
+			t.Fatalf("zero-rate fault run changed output[%d]: %v vs %v",
+				i, on.Output[i], off.Output[i])
+		}
+	}
+	fs := on.Telemetry.Fault
+	if fs == nil {
+		t.Fatal("fault-enabled run missing telemetry.fault")
+	}
+	if fs.TotalFlips != 0 || fs.CorruptedReads != 0 {
+		t.Fatalf("zero-rate run injected: %+v", fs)
+	}
+	if fs.Reads == 0 {
+		t.Fatal("injector saw no reads; hook not wired")
+	}
+}
+
+// TestFaultDeterminism: the same fault seed must reproduce the exact same
+// faults — same counts, same locations (the digest folds every
+// (channel,bank,row,col,offset,mode) tuple in order), same output bytes.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() *sim.Result {
+		return simulate(t, "LPS", mc.Baseline, withFault(1e-6, 1e-5, 7))
+	}
+	a, b := run(), run()
+	fa, fb := a.Telemetry.Fault, b.Telemetry.Fault
+	if fa.Digest != fb.Digest {
+		t.Fatalf("digests differ: %016x vs %016x", fa.Digest, fb.Digest)
+	}
+	if !reflect.DeepEqual(a.Run.Mem, b.Run.Mem) {
+		t.Fatal("same fault seed produced different memory stats")
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			t.Fatalf("same fault seed produced different output at %d", i)
+		}
+	}
+	if fa.TotalFlips == 0 {
+		t.Fatal("determinism check vacuous: no faults injected")
+	}
+
+	c := simulate(t, "LPS", mc.Baseline, withFault(1e-6, 1e-5, 8))
+	if fc := c.Telemetry.Fault; fc.Digest == fa.Digest {
+		t.Fatalf("different fault seeds share digest %016x", fa.Digest)
+	}
+}
+
+// TestFaultCorruptionReachesOutput: injected flips must propagate through
+// mc -> caches -> cores into the workload's output and register as nonzero
+// application error against the pristine functional run.
+func TestFaultCorruptionReachesOutput(t *testing.T) {
+	res := simulate(t, "SCP", mc.Baseline, withFault(0, 1e-4, 0))
+	if res.Run.Mem.FaultReads == 0 {
+		t.Fatal("no reads corrupted at density 1e-4")
+	}
+	g := golden(t, "SCP")
+	errv := approx.MeanRelativeError(g, res.Output)
+	if errv == 0 {
+		t.Fatal("corrupted reads did not reach the workload output")
+	}
+	if errv > 10 {
+		t.Fatalf("application error %.3f implausibly large for density 1e-4", errv)
+	}
+	q := res.Telemetry.Fault.Quality
+	if q == nil || q.Lines == 0 {
+		t.Fatal("fault quality log recorded no corrupted lines")
+	}
+}
+
+// TestFaultTelemetryReconciles: per-mode telemetry counts must equal the
+// stats.Mem totals the DRAM path accumulated, the bank matrix must sum to the
+// aggregate, and Validate's fault invariants must hold on a real run.
+func TestFaultTelemetryReconciles(t *testing.T) {
+	res := simulate(t, "SCP", mc.Baseline, withFault(1e-6, 1e-5, 0))
+	m := &res.Run.Mem
+	fs := res.Telemetry.Fault
+	if fs.ActFlips != m.FaultActFlips || fs.RetFlips != m.FaultRetFlips ||
+		fs.BusFlips != m.FaultBusFlips || fs.CorruptedReads != m.FaultReads {
+		t.Fatalf("telemetry/stats mismatch:\ntelemetry: %+v\nstats: act=%d ret=%d bus=%d reads=%d",
+			fs, m.FaultActFlips, m.FaultRetFlips, m.FaultBusFlips, m.FaultReads)
+	}
+	if fs.TotalFlips != m.TotalFaultFlips() {
+		t.Fatalf("total flips %d != stats total %d", fs.TotalFlips, m.TotalFaultFlips())
+	}
+	var bankSum uint64
+	for i := range m.Banks {
+		bankSum += m.Banks[i].FaultFlips
+	}
+	if bankSum != m.TotalFaultFlips() {
+		t.Fatalf("bank fault flips sum %d != total %d", bankSum, m.TotalFaultFlips())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate failed on fault run: %v", err)
+	}
+	if fs.TotalFlips == 0 {
+		t.Fatal("reconciliation vacuous: no faults injected")
+	}
+	// The injector defaulted its seed to the run seed.
+	if fs.Seed != 1 {
+		t.Fatalf("fault seed %d, want run seed 1", fs.Seed)
+	}
+}
+
+// TestFaultSeedDefaultIndependent: an explicit fault seed decouples the fault
+// pattern from the workload seed — same inputs, different faults.
+func TestFaultSeedDefaultIndependent(t *testing.T) {
+	a := simulate(t, "jmein", mc.Baseline, withFault(1e-6, 1e-5, 11))
+	b := simulate(t, "jmein", mc.Baseline, withFault(1e-6, 1e-5, 12))
+	if a.Run.Mem.Reads != b.Run.Mem.Reads {
+		t.Fatalf("fault seed changed the traffic itself: %d vs %d reads",
+			a.Run.Mem.Reads, b.Run.Mem.Reads)
+	}
+	if a.Telemetry.Fault.Digest == b.Telemetry.Fault.Digest {
+		t.Fatal("fault seeds 11 and 12 produced identical fault patterns")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"lazydram/internal/approx"
 	"lazydram/internal/core"
 	"lazydram/internal/energy"
+	"lazydram/internal/fault"
 	"lazydram/internal/icnt"
 	"lazydram/internal/mc"
 	"lazydram/internal/memimage"
@@ -91,7 +92,12 @@ func NewGPU(cfg Config, scheme mc.Scheme, kern Kernel, im *memimage.Image) *GPU 
 	if scheme.AMS == mc.Off {
 		annot = nil // nothing is approximable without AMS
 	}
-	g.col = obs.NewCollector(cfg.Obs)
+	if g.cfg.Fault.Enabled {
+		// Injected-error telemetry rides the fault model unconditionally so
+		// every fault run can report where its corruption landed.
+		g.cfg.Obs.FaultQuality = true
+	}
+	g.col = obs.NewCollector(g.cfg.Obs)
 	nParts := cfg.AddrMap.NumChannels
 	if g.col != nil {
 		g.tr = g.col.Tracer
@@ -339,15 +345,59 @@ func (g *GPU) collect() *Result {
 		res.Trace = g.col.Trace
 		res.Audit = g.col.Audit
 	}
+	if g.cfg.Fault.Enabled {
+		fs := g.faultSummary()
+		if res.Telemetry == nil {
+			res.Telemetry = &obs.Telemetry{}
+		}
+		res.Telemetry.Fault = fs
+	}
 	if g.met != nil {
 		g.publishMetrics() // final state, after the run has drained
 	}
 	return res
 }
 
+// faultSummary merges the per-channel injector summaries into the run-level
+// telemetry block, attaching the injected-error histogram.
+func (g *GPU) faultSummary() *obs.FaultSummary {
+	var agg fault.Summary
+	var cfg fault.Config
+	for _, p := range g.partitions {
+		if p.inj == nil {
+			continue
+		}
+		cfg = p.inj.Config()
+		agg.Merge(p.inj.Summary())
+	}
+	fs := &obs.FaultSummary{
+		Seed:           cfg.Seed,
+		BusBER:         cfg.BusBER,
+		WeakDensity:    cfg.WeakCellDensity,
+		Reads:          agg.Reads,
+		CorruptedReads: agg.CorruptedReads,
+		ActFlips:       agg.ActFlips,
+		RetFlips:       agg.RetFlips,
+		BusFlips:       agg.BusFlips,
+		TotalFlips:     agg.TotalFlips(),
+		WeakRows:       agg.WeakRows,
+		WeakCells:      agg.WeakCells,
+		Digest:         agg.Digest,
+	}
+	if g.col != nil {
+		fs.Quality = g.col.FaultQuality.Summary()
+	}
+	return fs
+}
+
 // Simulate is the one-call entry point: set up the kernel's memory, run all
 // its phases under the scheme, flush caches, and return the results.
 func Simulate(kern Kernel, cfg Config, scheme mc.Scheme, seed int64) (*Result, error) {
+	if cfg.Fault.Enabled && cfg.Fault.Seed == 0 {
+		// Default the fault seed to the run seed so -seed alone reproduces a
+		// fault run end to end.
+		cfg.Fault.Seed = seed
+	}
 	im := memimage.New(kern.MemBytes() + 4*memimage.LineSize)
 	rng := rand.New(rand.NewSource(seed))
 	kern.Setup(im, rng)

@@ -7,6 +7,7 @@ import (
 	"lazydram/internal/cache"
 	"lazydram/internal/core"
 	"lazydram/internal/dram"
+	"lazydram/internal/fault"
 	"lazydram/internal/mc"
 	"lazydram/internal/memimage"
 	"lazydram/internal/obs"
@@ -67,6 +68,8 @@ type partition struct {
 	st    stats.Mem
 	tr    *obs.Tracer     // nil unless lifecycle tracing is enabled
 	qual  *obs.QualityLog // nil unless approximation-quality telemetry is on
+	inj   *fault.Injector // nil unless fault injection is enabled
+	fq    *obs.QualityLog // nil unless fault-error telemetry is on
 
 	wbQueue    []wbEntry
 	done       doneHeap
@@ -82,6 +85,7 @@ func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotat
 	if col != nil {
 		p.tr = col.Tracer
 		p.qual = col.Quality
+		p.fq = col.FaultQuality
 		p.dchan.SetTrace(col.Trace, id)
 	}
 	switch cfg.VPKind {
@@ -99,6 +103,10 @@ func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotat
 	p.ctrl.SetTracer(p.tr)
 	if col != nil {
 		p.ctrl.SetAudit(col.Audit, id)
+	}
+	if cfg.Fault.Enabled {
+		p.inj = fault.NewInjector(cfg.Fault, id, cfg.DRAM.RowBytes, &p.st)
+		p.ctrl.SetFaults(p.inj)
 	}
 	return p
 }
@@ -159,6 +167,16 @@ func (p *partition) finishFill(it doneItem) {
 		}
 	} else {
 		p.im.ReadLine(line, data[:])
+		// Injected faults corrupt the returned bytes only: the image keeps
+		// the pristine line, so it remains the ground truth the corruption
+		// can be scored against (and that end-of-run outputs are compared
+		// to). The VP observes the corrupted data, as a real unit sampling
+		// the fill path would.
+		if f := it.req.Faults; f != nil {
+			truth := data
+			f.Apply(data[:])
+			p.fq.RecordLine(it.readyAt, line, data[:], truth[:])
+		}
 		p.vp.Observe(line, &data)
 	}
 	if ev, evicted := p.l2.Fill(line, data[:], it.approx); evicted {

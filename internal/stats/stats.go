@@ -52,6 +52,14 @@ type Mem struct {
 	// schemes' settled values.
 	DelaySum uint64
 	ThRBLSum uint64
+	// FaultActFlips, FaultRetFlips, and FaultBusFlips count injected bit
+	// flips by fault mode (activation / retention / bus transient); all zero
+	// unless the fault model is enabled. FaultReads counts read bursts that
+	// carried at least one flip.
+	FaultActFlips uint64
+	FaultRetFlips uint64
+	FaultBusFlips uint64
+	FaultReads    uint64
 	// Banks is the per-bank counter matrix for this channel (nil until the
 	// DRAM layer calls EnsureBanks or Bank). In a merged Mem, bank i holds
 	// the element-wise sum of bank i across the merged channels; keep the
@@ -85,6 +93,8 @@ type Bank struct {
 	DMSDelayCycles uint64 `json:"dms_delay_cycles"`
 	// AMSDrops counts read requests to this bank dropped by AMS.
 	AMSDrops uint64 `json:"ams_drops"`
+	// FaultFlips counts injected bit flips (all modes) in this bank's reads.
+	FaultFlips uint64 `json:"fault_flips,omitempty"`
 }
 
 // add accumulates o into b.
@@ -99,6 +109,7 @@ func (b *Bank) add(o *Bank) {
 	b.BusBusy += o.BusBusy
 	b.DMSDelayCycles += o.DMSDelayCycles
 	b.AMSDrops += o.AMSDrops
+	b.FaultFlips += o.FaultFlips
 }
 
 // EnsureBanks sizes the per-bank matrix for n banks, preserving existing
@@ -279,12 +290,21 @@ func (m *Mem) Merge(o *Mem) {
 	m.QueueOccSum += o.QueueOccSum
 	m.DelaySum += o.DelaySum
 	m.ThRBLSum += o.ThRBLSum
+	m.FaultActFlips += o.FaultActFlips
+	m.FaultRetFlips += o.FaultRetFlips
+	m.FaultBusFlips += o.FaultBusFlips
+	m.FaultReads += o.FaultReads
 	if len(o.Banks) > 0 {
 		m.EnsureBanks(len(o.Banks))
 		for i := range o.Banks {
 			m.Banks[i].add(&o.Banks[i])
 		}
 	}
+}
+
+// TotalFaultFlips returns the all-mode injected-flip count.
+func (m *Mem) TotalFaultFlips() uint64 {
+	return m.FaultActFlips + m.FaultRetFlips + m.FaultBusFlips
 }
 
 // Validate checks the internal consistency invariants that hold for any Mem
@@ -344,6 +364,15 @@ func (m *Mem) Validate() error {
 	if m.QueueOccSum > 0 && m.ReadReqs+m.WriteReqs == 0 {
 		fail("QueueOccSum %d with no arrived requests", m.QueueOccSum)
 	}
+	// Injected-fault reconciliation: every corrupted read is a real RD, every
+	// corrupted read carries at least one flip, and the per-bank flip matrix
+	// must sum exactly to the per-mode totals.
+	if m.FaultReads > m.Reads {
+		fail("FaultReads %d > Reads %d", m.FaultReads, m.Reads)
+	}
+	if tot := m.TotalFaultFlips(); m.FaultReads > tot {
+		fail("FaultReads %d > total fault flips %d", m.FaultReads, tot)
+	}
 	// The per-bank matrix, when tracked, must sum exactly to the channel
 	// aggregates, and each bank's hit/miss/conflict classification must
 	// account for every column access it issued.
@@ -363,6 +392,9 @@ func (m *Mem) Validate() error {
 		}
 		if t.AMSDrops != m.Dropped {
 			fail("bank AMSDrops sum %d != Dropped %d", t.AMSDrops, m.Dropped)
+		}
+		if t.FaultFlips != m.TotalFaultFlips() {
+			fail("bank FaultFlips sum %d != per-mode fault flips %d", t.FaultFlips, m.TotalFaultFlips())
 		}
 		for i := range m.Banks {
 			b := &m.Banks[i]
@@ -450,6 +482,12 @@ func (r *Run) String() string {
 		r.FinalDelay, r.FinalThRBL, r.Mem.MeanDelay(), r.Mem.MeanThRBL())
 	fmt.Fprintf(&b, "  l1: %d/%d miss  l2: %d/%d miss\n",
 		r.L1Misses, r.L1Accesses, r.L2Misses, r.L2Accesses)
+	// Emitted only when the fault model injected something, so fault-off runs
+	// stay byte-identical to the pre-fault baseline text.
+	if r.Mem.TotalFaultFlips() > 0 || r.Mem.FaultReads > 0 {
+		fmt.Fprintf(&b, "  faults: act=%d ret=%d bus=%d corrupted-reads=%d\n",
+			r.Mem.FaultActFlips, r.Mem.FaultRetFlips, r.Mem.FaultBusFlips, r.Mem.FaultReads)
+	}
 	return b.String()
 }
 

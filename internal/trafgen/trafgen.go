@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"lazydram/internal/dram"
+	"lazydram/internal/fault"
 	"lazydram/internal/mc"
 	"lazydram/internal/stats"
 )
@@ -145,25 +146,61 @@ type Result struct {
 	Dropped  uint64
 	Cycles   uint64
 	Rejected uint64 // arrivals lost to a full queue
+	// Faults summarizes injected faults (zero unless DriveConfig.Fault is
+	// enabled).
+	Faults fault.Summary
+}
+
+// DriveConfig gathers everything a standalone controller harness run needs.
+// The RNG seed is explicit so sweep experiments (including fault sweeps) are
+// reproducible end to end from their configuration alone.
+type DriveConfig struct {
+	MC   mc.Config
+	DRAM dram.Config
+	// Seed drives the generator's RNG.
+	Seed int64
+	// Fault optionally attaches the DRAM error model to the channel; its
+	// Seed defaults to DriveConfig.Seed when 0.
+	Fault fault.Config
+	// AddrMap encodes channel-local coordinates into the global addresses
+	// requests carry (nil-value picks dram.DefaultAddrMap).
+	AddrMap *dram.AddrMap
 }
 
 // Drive runs n requests from gen through a controller configured with
 // mcCfg over one DRAM channel, then drains the queue. Requests arriving
 // while the pending queue is full are counted in Rejected and discarded
-// (open-loop injection).
+// (open-loop injection). It is shorthand for DriveWith without faults.
 func Drive(mcCfg mc.Config, dramCfg dram.Config, gen Generator, n int, seed int64) Result {
+	return DriveWith(DriveConfig{MC: mcCfg, DRAM: dramCfg, Seed: seed}, gen, n)
+}
+
+// DriveWith is the configurable form of Drive.
+func DriveWith(cfg DriveConfig, gen Generator, n int) Result {
 	var res Result
 	st := &stats.Mem{}
-	ch := dram.NewChannel(dramCfg, st)
-	ctrl := mc.New(mcCfg, ch, st, func(r *mc.Request, approx bool, at uint64) {
+	ch := dram.NewChannel(cfg.DRAM, st)
+	ctrl := mc.New(cfg.MC, ch, st, func(r *mc.Request, approx bool, at uint64) {
 		if approx {
 			res.Dropped++
 		} else {
 			res.Served++
 		}
 	}, nil)
-	rng := rand.New(rand.NewSource(seed))
+	var inj *fault.Injector
+	if cfg.Fault.Enabled {
+		fc := cfg.Fault
+		if fc.Seed == 0 {
+			fc.Seed = cfg.Seed
+		}
+		inj = fault.NewInjector(fc, 0, cfg.DRAM.RowBytes, st)
+		ctrl.SetFaults(inj)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	am := dram.DefaultAddrMap()
+	if cfg.AddrMap != nil {
+		am = *cfg.AddrMap
+	}
 
 	var now, nextArrival uint64
 	emitted := 0
@@ -188,5 +225,8 @@ func Drive(mcCfg mc.Config, dramCfg dram.Config, gen Generator, n int, seed int6
 	ctrl.Drain()
 	res.Mem = *st
 	res.Cycles = now
+	if inj != nil {
+		res.Faults = inj.Summary()
+	}
 	return res
 }

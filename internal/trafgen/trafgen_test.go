@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"lazydram/internal/dram"
+	"lazydram/internal/fault"
 	"lazydram/internal/mc"
 	"lazydram/internal/trafgen"
 )
@@ -113,6 +114,39 @@ func TestOpenLoopRejectsWhenSaturated(t *testing.T) {
 	}
 	if res.Served+res.Rejected != 5000 {
 		t.Fatalf("conservation violated: %d+%d != 5000", res.Served, res.Rejected)
+	}
+}
+
+func TestDriveWithFaultsDeterministic(t *testing.T) {
+	run := func() trafgen.Result {
+		cfg := trafgen.DriveConfig{
+			MC:   mc.DefaultConfig(),
+			DRAM: dram.DefaultConfig(),
+			Seed: 3,
+			Fault: fault.Config{
+				Enabled:         true,
+				BusBER:          1e-5,
+				WeakCellDensity: 1e-3,
+			},
+		}
+		return trafgen.DriveWith(cfg, &trafgen.Zipf{Banks: 16, Rows: 2048, S: 1.3, Gap: 5}, 3000)
+	}
+	a, b := run(), run()
+	if a.Faults.Digest != b.Faults.Digest || a.Faults.TotalFlips() != b.Faults.TotalFlips() {
+		t.Fatalf("fault injection nondeterministic: %+v vs %+v", a.Faults, b.Faults)
+	}
+	if a.Faults.TotalFlips() == 0 {
+		t.Fatal("no faults injected at BER 1e-5 / density 1e-3")
+	}
+	// The generator RNG is seeded from DriveConfig.Seed, so the traffic —
+	// and therefore the served counts — must match a fault-free drive.
+	plain := trafgen.Drive(mc.DefaultConfig(), dram.DefaultConfig(), &trafgen.Zipf{Banks: 16, Rows: 2048, S: 1.3, Gap: 5}, 3000, 3)
+	if a.Served != plain.Served || a.Mem.Reads != plain.Mem.Reads {
+		t.Fatalf("fault drive changed traffic: served %d/%d reads %d/%d",
+			a.Served, plain.Served, a.Mem.Reads, plain.Mem.Reads)
+	}
+	if err := a.Mem.Validate(); err != nil {
+		t.Fatalf("Validate failed on fault drive: %v", err)
 	}
 }
 
