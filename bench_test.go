@@ -12,7 +12,9 @@ package main
 
 import (
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"lazydram/internal/exp"
 	"lazydram/internal/mc"
@@ -233,6 +235,38 @@ func BenchmarkAblationVPRadius(b *testing.B) {
 	}
 	b.ReportMetric(100*err0, "app-error-%-radius0")
 	b.ReportMetric(100*err8, "app-error-%-radius8")
+}
+
+// BenchmarkParallelSweep measures the concurrent Runner on the Fig. 12
+// shape (3 apps x 7 schemes): each iteration executes the identical point set
+// with one worker and with GOMAXPROCS workers, and reports the wall-clock
+// speedup. On a single-core runner the speedup metric is ~1.0 by
+// construction; the number is only meaningful on multi-core hardware.
+func BenchmarkParallelSweep(b *testing.B) {
+	apps := []string{"SCP", "MVT", "laplacian"} // groups 1-3 only
+	schemes := []mc.Scheme{mc.Baseline, mc.StaticDMS, mc.DynDMS, mc.StaticAMS,
+		mc.DynAMS, mc.StaticBoth, mc.DynBoth}
+	sweep := func(workers int) time.Duration {
+		start := time.Now()
+		r := exp.NewRunner(exp.Options{Seed: 1, Apps: apps, Quick: true, Workers: workers})
+		r.PrefetchSchemes(apps, schemes...)
+		for _, app := range apps {
+			for _, s := range schemes {
+				if _, err := r.Run(app, s, exp.Variant{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return time.Since(start)
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		serial := sweep(1)
+		parallel := sweep(runtime.GOMAXPROCS(0))
+		speedup = serial.Seconds() / parallel.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (core cycles

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-out results] [-apps GEMM,SCP] [-seed 1] [ids...]
+//	experiments [-out results] [-apps GEMM,SCP] [-seed 1] [-workers N] [-shard] [ids...]
 //
 // With no ids, every experiment runs in paper order. Each experiment writes
 // <out>/<id>.txt plus any binary artifacts (e.g. Fig. 14's PGM images), and
@@ -30,6 +30,9 @@ func main() {
 		apps = flag.String("apps", "", "comma-separated app subset (default: all)")
 		seed = flag.Int64("seed", 1, "workload input seed")
 		list = flag.Bool("list", false, "list experiment ids and exit")
+
+		workers = flag.Int("workers", 0, "concurrent simulations (0: GOMAXPROCS); results are identical for any value")
+		shard   = flag.Bool("shard", false, "also shard each simulation's partition ticking (bit-identical; see DESIGN.md)")
 
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -68,7 +71,7 @@ func main() {
 	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
 		ids = exp.IDs()
 	}
-	opts := exp.Options{Seed: *seed}
+	opts := exp.Options{Seed: *seed, Workers: *workers, ShardPartitions: *shard}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}

@@ -10,6 +10,17 @@
 // dyn-both, dms(X) via -scheme static-dms -delay X, ams(T) via
 // -scheme static-ams -thrbl T.
 //
+// Parallel execution (see DESIGN.md, "Parallel execution"):
+//
+//	-shard           tick memory partitions on a worker pool with a per-cycle
+//	                 barrier; bit-identical to the sequential path
+//	-shard-workers N pool size for -shard (0: GOMAXPROCS, capped at the
+//	                 partition count)
+//	-sweep S1,S2,... multi-run mode: cross every scheme in the list with
+//	                 every app in -app (comma-separated, or "all") and print
+//	                 one summary row per run; runs execute concurrently
+//	-workers N       concurrent simulations in -sweep mode (0: GOMAXPROCS)
+//
 // Observability:
 //
 //	-json            emit one machine-readable JSON document instead of text
@@ -49,6 +60,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -59,6 +71,7 @@ import (
 
 	"lazydram/internal/approx"
 	"lazydram/internal/energy"
+	"lazydram/internal/exp"
 	"lazydram/internal/mc"
 	"lazydram/internal/obs"
 	"lazydram/internal/sim"
@@ -75,6 +88,11 @@ func main() {
 		delay  = flag.Int("delay", 128, "static DMS delay (cycles)")
 		thrbl  = flag.Int("thrbl", 8, "static AMS Th_RBL")
 		list   = flag.Bool("list", false, "list applications and exit")
+
+		shard        = flag.Bool("shard", false, "tick memory partitions on a worker pool (bit-identical to sequential)")
+		shardWorkers = flag.Int("shard-workers", 0, "worker-pool size for -shard (0: GOMAXPROCS, capped at partition count)")
+		sweep        = flag.String("sweep", "", "comma-separated scheme list: run every scheme for every -app concurrently and print one row per run")
+		workers      = flag.Int("workers", 0, "concurrent simulations in -sweep mode (0: GOMAXPROCS)")
 
 		jsonOut  = flag.Bool("json", false, "emit one JSON document with stats and telemetry")
 		sampleN  = flag.Uint64("sample-every", 1024, "time-series sampling interval in memory cycles (0 disables)")
@@ -128,6 +146,17 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *sweep != "" {
+		if err := runSweep(os.Stdout, *app, *sweep, sweepOptions{
+			Seed: *seed, Queue: *queue, Delay: *delay, ThRBL: *thrbl,
+			Workers: *workers, Shard: *shard,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	sch, err := ParseScheme(*scheme, *delay, *thrbl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -140,6 +169,8 @@ func main() {
 	}
 	cfg := sim.DefaultConfig()
 	cfg.MC.QueueSize = *queue
+	cfg.ShardPartitions = *shard
+	cfg.ShardWorkers = *shardWorkers
 	cfg.Obs = obs.Options{
 		Latency:     *jsonOut,
 		SampleEvery: *sampleN,
@@ -372,6 +403,79 @@ func buildReport(r *stats.Run, res *sim.Result, seed int64, wall time.Duration, 
 
 		Telemetry: res.Telemetry,
 	}
+}
+
+// sweepOptions carries the -sweep mode knobs.
+type sweepOptions struct {
+	Seed         int64
+	Queue        int
+	Delay, ThRBL int
+	Workers      int
+	Shard        bool
+}
+
+// runSweep is the -sweep multi-run mode: the cross product of the
+// comma-separated app list (or "all") and scheme list executes on an
+// exp.Runner worker pool, and one summary row per run prints in declaration
+// order regardless of completion order. The concurrent path is singleflighted
+// and memoized, so the output is identical to running the points one at a
+// time.
+func runSweep(w io.Writer, appList, schemeList string, o sweepOptions) error {
+	var apps []string
+	if appList == "all" {
+		apps = workloads.Names()
+	} else {
+		for _, a := range strings.Split(appList, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				apps = append(apps, a)
+			}
+		}
+	}
+	var schemes []mc.Scheme
+	for _, name := range strings.Split(schemeList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, err := ParseScheme(name, o.Delay, o.ThRBL)
+		if err != nil {
+			return err
+		}
+		schemes = append(schemes, s)
+	}
+	if len(apps) == 0 || len(schemes) == 0 {
+		return fmt.Errorf("sweep: need at least one app and one scheme")
+	}
+
+	r := exp.NewRunner(exp.Options{
+		Seed:            o.Seed,
+		Apps:            apps,
+		Workers:         o.Workers,
+		ShardPartitions: o.Shard,
+	})
+	v := exp.Variant{QueueSize: o.Queue}
+	var pts []exp.Point
+	for _, app := range apps {
+		for _, s := range schemes {
+			pts = append(pts, exp.Point{App: app, Scheme: s, Variant: v})
+		}
+	}
+	start := time.Now()
+	r.Prefetch(pts...)
+
+	fmt.Fprintf(w, "%-14s %-22s %-9s %-12s %-14s %-10s %-10s\n",
+		"app", "scheme", "ipc", "activations", "row-energy-nj", "app-error", "coverage")
+	for _, p := range pts {
+		res, err := r.Run(p.App, p.Scheme, p.Variant)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s %-22s %-9.4f %-12d %-14.0f %-10.4f %-10.4f\n",
+			p.App, p.Scheme.Name(), res.Run.IPC(), res.Run.Mem.Activations,
+			res.Run.RowEnergy, res.Run.AppError, res.Run.Mem.Coverage())
+	}
+	fmt.Fprintf(w, "%d runs in %v\n", len(pts), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // ParseScheme maps a scheme name to its configuration.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -124,6 +125,32 @@ func TestBuildReportJSON(t *testing.T) {
 		if _, ok := ch0[key]; !ok {
 			t.Errorf("energy_by_channel entry missing %q", key)
 		}
+	}
+}
+
+// TestRunSweep drives the -sweep multi-run mode end to end: rows must appear
+// in declaration order (app-major, scheme-minor) no matter which concurrent
+// simulation finishes first, and scheme parse errors must surface.
+func TestRunSweep(t *testing.T) {
+	var buf bytes.Buffer
+	o := sweepOptions{Seed: 1, Queue: 128, Delay: 128, ThRBL: 8, Workers: 2}
+	if err := runSweep(&buf, "jmein,LPS", "baseline,static-ams", o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4 runs in") {
+		t.Fatalf("sweep did not report 4 runs:\n%s", out)
+	}
+	ji := strings.Index(out, "jmein")
+	li := strings.Index(out, "LPS")
+	if ji < 0 || li < 0 || ji > li {
+		t.Fatalf("sweep rows out of declaration order:\n%s", out)
+	}
+	if err := runSweep(io.Discard, "jmein", "no-such-scheme", o); err == nil {
+		t.Fatal("unknown sweep scheme accepted")
+	}
+	if err := runSweep(io.Discard, "", "baseline", o); err == nil {
+		t.Fatal("empty app list accepted")
 	}
 }
 

@@ -36,6 +36,20 @@ func runPolicies(r *Runner, w io.Writer, _ string) error {
 	if r.opts.Apps != nil {
 		apps = r.Apps()
 	}
+	var pts []Point
+	for _, app := range apps {
+		pts = append(pts,
+			Point{App: app, Scheme: mc.Baseline},
+			Point{App: app, Scheme: mc.Baseline, Variant: Variant{
+				Tag:    "fcfs",
+				Mutate: func(c *sim.Config) { c.MC.Policy = mc.FCFS },
+			}},
+			Point{App: app, Scheme: mc.Baseline, Variant: Variant{
+				Tag:    "closed",
+				Mutate: func(c *sim.Config) { c.MC.Policy = mc.FRFCFSClosedRow },
+			}})
+	}
+	r.Prefetch(pts...)
 	for _, app := range apps {
 		base, err := r.Baseline(app)
 		if err != nil {
@@ -73,6 +87,17 @@ func runVPAblation(r *Runner, w io.Writer, _ string) error {
 	if r.opts.Apps != nil {
 		apps = r.Apps()
 	}
+	var pts []Point
+	for _, app := range apps {
+		for _, kind := range []string{"nearest", "zero", "lastvalue"} {
+			kind := kind
+			pts = append(pts, Point{App: app, Scheme: mc.StaticAMS, Variant: Variant{
+				Tag:    "vp-" + kind,
+				Mutate: func(c *sim.Config) { c.VPKind = kind },
+			}})
+		}
+	}
+	r.Prefetch(pts...)
 	for _, app := range apps {
 		run := func(kind string) (*sim.Result, error) {
 			return r.Run(app, mc.StaticAMS, Variant{

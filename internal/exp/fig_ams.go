@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 	"io"
+
+	"lazydram/internal/mc"
 )
 
 func init() {
@@ -22,6 +24,7 @@ func init() {
 var fig6Apps = []string{"GEMM", "3MM"}
 
 func runFig6(r *Runner, w io.Writer, _ string) error {
+	r.PrefetchSchemes(fig6Apps, mc.Baseline)
 	for _, app := range fig6Apps {
 		base, err := r.Baseline(app)
 		if err != nil {
@@ -48,6 +51,11 @@ func runFig6(r *Runner, w io.Writer, _ string) error {
 
 func runFig11(r *Runner, w io.Writer, _ string) error {
 	const app = "SCP"
+	schemes := []mc.Scheme{mc.Baseline}
+	for th := 8; th >= 1; th-- {
+		schemes = append(schemes, AMSScheme(th))
+	}
+	r.PrefetchSchemes([]string{app}, schemes...)
 	base, err := r.Baseline(app)
 	if err != nil {
 		return err

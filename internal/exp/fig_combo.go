@@ -31,6 +31,17 @@ func fig7Row(w io.Writer, label string, base, res *sim.Result) {
 }
 
 func runFig7(r *Runner, w io.Writer, _ string) error {
+	r.Prefetch(
+		Point{App: "LPS", Scheme: mc.Baseline},
+		Point{App: "LPS", Scheme: DMSScheme(256)},
+		Point{App: "LPS", Scheme: DMSScheme(512)},
+		Point{App: "LPS", Scheme: AMSScheme(8)},
+		Point{App: "SCP", Scheme: mc.Baseline},
+		Point{App: "SCP", Scheme: DMSScheme(128)},
+		Point{App: "SCP", Scheme: DMSScheme(256)},
+		Point{App: "SCP", Scheme: AMSScheme(8)},
+		Point{App: "SCP", Scheme: BothScheme(256, 8)},
+	)
 	// (a) LPS: activations barely move with delay; AMS reduces them and
 	// recovers IPC.
 	header(w, "(a) LPS")

@@ -4,12 +4,23 @@ import (
 	"fmt"
 	"io"
 
+	"lazydram/internal/mc"
 	"lazydram/internal/sim"
 	"lazydram/internal/stats"
 )
 
 // delaySweep is the DMS(X) sweep of Fig. 4.
 var delaySweep = []int{64, 128, 256, 512, 1024, 2048}
+
+// prefetchDelaySweep plans the baseline plus every DMS(X) point for apps, the
+// shared shape of Figs. 4, 5 and 10 and Table II.
+func prefetchDelaySweep(r *Runner, apps []string) {
+	schemes := []mc.Scheme{mc.Baseline}
+	for _, d := range delaySweep {
+		schemes = append(schemes, DMSScheme(d))
+	}
+	r.PrefetchSchemes(apps, schemes...)
+}
 
 func defaultConfigForPrint() sim.Config { return sim.DefaultConfig() }
 
@@ -32,6 +43,7 @@ func init() {
 }
 
 func runFig4(r *Runner, w io.Writer, _ string) error {
+	prefetchDelaySweep(r, r.Apps())
 	header(w, "(a) activations and (b) IPC under DMS(X), normalized to baseline")
 	fmt.Fprintf(w, "%-14s %-5s", "app", "")
 	for _, d := range delaySweep {
@@ -87,6 +99,7 @@ func runFig4(r *Runner, w io.Writer, _ string) error {
 var fig5Apps = []string{"FWT", "SCP"}
 
 func runFig5(r *Runner, w io.Writer, _ string) error {
+	prefetchDelaySweep(r, fig5Apps)
 	for _, app := range fig5Apps {
 		header(w, fmt.Sprintf("%s: share of activations per RBL bucket vs. DMS delay", app))
 		fmt.Fprintf(w, "%-8s", "delay")
@@ -119,6 +132,7 @@ func runFig5(r *Runner, w io.Writer, _ string) error {
 }
 
 func runFig10(r *Runner, w io.Writer, _ string) error {
+	prefetchDelaySweep(r, r.Apps())
 	header(w, "normalized (BWUTIL, IPC) pairs across DMS delays, with Pearson r")
 	fmt.Fprintf(w, "%-14s %-9s", "app", "r")
 	for _, d := range delaySweep {

@@ -45,6 +45,23 @@ func runFaultSweep(r *Runner, w io.Writer, _ string) error {
 	if r.opts.Apps != nil {
 		apps = r.Apps()
 	}
+	var pts []Point
+	for _, app := range apps {
+		pts = append(pts, Point{App: app, Scheme: mc.Baseline})
+		for _, g := range faultGrid {
+			g := g
+			pts = append(pts, Point{App: app, Scheme: mc.Baseline, Variant: Variant{
+				Tag: fmt.Sprintf("fault-b%g-d%g", g.BER, g.Density),
+				Mutate: func(c *sim.Config) {
+					c.Fault = fault.DefaultConfig()
+					c.Fault.Enabled = true
+					c.Fault.BusBER = g.BER
+					c.Fault.WeakCellDensity = g.Density
+				},
+			}})
+		}
+	}
+	r.Prefetch(pts...)
 	for _, app := range apps {
 		base, err := r.Baseline(app)
 		if err != nil {
@@ -100,7 +117,25 @@ func runFaultRetention(r *Runner, w io.Writer) error {
 	}
 	dms := mc.StaticDMS
 	dms.StaticDelay = 1024
-	for _, th := range []uint64{4096, 2048, 1024} {
+	thresholds := []uint64{4096, 2048, 1024}
+	var pts []Point
+	for _, th := range thresholds {
+		th := th
+		v := Variant{
+			Tag: fmt.Sprintf("fault-ret%d", th),
+			Mutate: func(c *sim.Config) {
+				c.Fault = fault.DefaultConfig()
+				c.Fault.Enabled = true
+				c.Fault.WeakCellDensity = 1e-4
+				c.Fault.RetentionThreshold = th
+			},
+		}
+		pts = append(pts,
+			Point{App: app, Scheme: mc.Baseline, Variant: v},
+			Point{App: app, Scheme: dms, Variant: v})
+	}
+	r.Prefetch(pts...)
+	for _, th := range thresholds {
 		th := th
 		mutate := func(c *sim.Config) {
 			c.Fault = fault.DefaultConfig()

@@ -20,7 +20,10 @@ func init() {
 
 func runFig14(r *Runner, w io.Writer, outDir string) error {
 	const app = "laplacian"
-	golden := r.Golden(app)
+	golden, err := r.Golden(app)
+	if err != nil {
+		return err
+	}
 	res, err := r.Run(app, mc.DynBoth, Variant{})
 	if err != nil {
 		return err

@@ -40,6 +40,7 @@ var fig12Schemes = []mc.Scheme{
 
 func runFig12(r *Runner, w io.Writer, _ string) error {
 	apps := r.GroupApps(1, 2, 3)
+	r.PrefetchSchemes(apps, fig12Schemes...)
 	type agg struct {
 		rowE, ipc, errSum, cov float64
 		n                      int
@@ -117,6 +118,7 @@ func runFig12(r *Runner, w io.Writer, _ string) error {
 
 func runFig15(r *Runner, w io.Writer, _ string) error {
 	apps := r.GroupApps(4)
+	r.PrefetchSchemes(apps, mc.Baseline, mc.StaticDMS, mc.DynDMS)
 	header(w, "group-4 apps: row energy (a) and IPC (b) under DMS, normalized to baseline")
 	fmt.Fprintf(w, "%-14s %-12s %-12s %-12s %-12s %-12s\n",
 		"app", "sdms-rowE", "ddms-rowE", "sdms-ipc", "ddms-ipc", "ddms-delay")
@@ -153,6 +155,7 @@ func runFig15(r *Runner, w io.Writer, _ string) error {
 
 func runEnergy(r *Runner, w io.Writer, _ string) error {
 	apps := r.GroupApps(1, 2, 3)
+	r.PrefetchSchemes(apps, mc.Baseline, mc.DynBoth)
 	var reduction float64
 	for _, app := range apps {
 		base, err := r.Baseline(app)

@@ -38,6 +38,14 @@ func init() {
 // runQueueSweep prints activations per queue size normalized to the
 // 128-entry baseline configuration, per app plus the geometric mean.
 func runQueueSweep(r *Runner, w io.Writer, scheme mc.Scheme) error {
+	var pts []Point
+	for _, app := range r.Apps() {
+		pts = append(pts, Point{App: app, Scheme: mc.Baseline})
+		for _, q := range queueSizes {
+			pts = append(pts, Point{App: app, Scheme: scheme, Variant: Variant{QueueSize: q}})
+		}
+	}
+	r.Prefetch(pts...)
 	header(w, "activations normalized to queue size 128 (baseline FR-FCFS)")
 	fmt.Fprintf(w, "%-14s", "app")
 	for _, q := range queueSizes {

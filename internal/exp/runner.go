@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -25,14 +26,49 @@ type Options struct {
 	// Quick shrinks nothing by itself but is recorded so callers can decide
 	// to trim sweeps; benchmarks set it.
 	Quick bool
+	// Workers bounds the number of simulations in flight at once (0 picks
+	// GOMAXPROCS). Results are independent of the worker count: every run is
+	// keyed and singleflighted, so a point simulates exactly once no matter
+	// how many goroutines ask for it, and drivers consume results in paper
+	// order regardless of completion order.
+	Workers int
+	// ShardPartitions additionally parallelizes each simulation's cycle loop
+	// (sim.Config.ShardPartitions): partitions tick on a worker pool with a
+	// per-cycle barrier. Bit-identical to the sequential path by
+	// construction; most useful when Workers is small and cores are idle.
+	ShardPartitions bool
 }
 
 // Runner executes simulations with memoization and caches golden outputs.
+//
+// It is safe for concurrent use: each distinct run key simulates exactly
+// once (concurrent Run calls on one key join the in-flight simulation), and
+// a semaphore sized by Options.Workers bounds how many simulations execute
+// at once. Prefetch fans a declared point set out across that pool so a
+// driver's subsequent in-order Run calls mostly just collect results.
 type Runner struct {
-	opts   Options
+	opts Options
+	sem  chan struct{}
+
 	mu     sync.Mutex
-	runs   map[string]*sim.Result
-	golden map[string][]float32
+	runs   map[string]*runEntry
+	golden map[string]*goldenEntry
+}
+
+// runEntry is the singleflight slot for one run key: the first claimant
+// simulates and closes done; everyone else waits on done and shares the
+// memoized result or error.
+type runEntry struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// goldenEntry is the singleflight slot for one app's functional run.
+type goldenEntry struct {
+	done chan struct{}
+	out  []float32
+	err  error
 }
 
 // NewRunner creates a Runner.
@@ -40,10 +76,14 @@ func NewRunner(opts Options) *Runner {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	return &Runner{
 		opts:   opts,
-		runs:   make(map[string]*sim.Result),
-		golden: make(map[string][]float32),
+		sem:    make(chan struct{}, opts.Workers),
+		runs:   make(map[string]*runEntry),
+		golden: make(map[string]*goldenEntry),
 	}
 }
 
@@ -82,23 +122,46 @@ type Variant struct {
 	Tag string
 }
 
-// Run simulates app under scheme (memoized) and returns the result with
-// AppError filled in against the golden functional run.
-func (r *Runner) Run(app string, scheme mc.Scheme, v Variant) (*sim.Result, error) {
-	key := fmt.Sprintf("%s|%s|d%d|t%d|q%d|%s",
+// Point is one planned simulation for Prefetch.
+type Point struct {
+	App     string
+	Scheme  mc.Scheme
+	Variant Variant
+}
+
+// runKey identifies one memoized simulation.
+func runKey(app string, scheme mc.Scheme, v Variant) string {
+	return fmt.Sprintf("%s|%s|d%d|t%d|q%d|%s",
 		app, scheme.Name(), scheme.StaticDelay, scheme.StaticThRBL, v.QueueSize, v.Tag)
+}
+
+// Run simulates app under scheme (memoized, singleflighted) and returns the
+// result with AppError filled in against the golden functional run.
+func (r *Runner) Run(app string, scheme mc.Scheme, v Variant) (*sim.Result, error) {
+	key := runKey(app, scheme, v)
 	r.mu.Lock()
-	if res, ok := r.runs[key]; ok {
+	if e, ok := r.runs[key]; ok {
 		r.mu.Unlock()
-		return res, nil
+		<-e.done
+		return e.res, e.err
 	}
+	e := &runEntry{done: make(chan struct{})}
+	r.runs[key] = e
 	r.mu.Unlock()
 
+	e.res, e.err = r.simulate(app, scheme, v)
+	close(e.done)
+	return e.res, e.err
+}
+
+// simulate executes one run under the worker semaphore.
+func (r *Runner) simulate(app string, scheme mc.Scheme, v Variant) (*sim.Result, error) {
 	kern, err := workloads.New(app)
 	if err != nil {
 		return nil, err
 	}
 	cfg := sim.DefaultConfig()
+	cfg.ShardPartitions = r.opts.ShardPartitions
 	if v.QueueSize > 0 {
 		cfg.MC.QueueSize = v.QueueSize
 	}
@@ -108,35 +171,94 @@ func (r *Runner) Run(app string, scheme mc.Scheme, v Variant) (*sim.Result, erro
 		}
 		v.Mutate(&cfg)
 	}
+	// Resolve the golden output before taking a worker slot: Golden may wait
+	// on another goroutine's in-flight functional run, which must not happen
+	// while holding a slot that run's caller might be queued for.
+	golden, err := r.Golden(app)
+	if err != nil {
+		return nil, err
+	}
+	r.sem <- struct{}{}
 	res, err := sim.Simulate(kern, cfg, scheme, r.opts.Seed)
+	<-r.sem
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", app, scheme.Name(), err)
 	}
-	res.Run.AppError = approx.MeanRelativeError(r.Golden(app), res.Output)
-
-	r.mu.Lock()
-	r.runs[key] = res
-	r.mu.Unlock()
+	res.Run.AppError = approx.MeanRelativeError(golden, res.Output)
 	return res, nil
 }
 
-// Golden returns (computing once) the exact functional output of app.
-func (r *Runner) Golden(app string) []float32 {
-	r.mu.Lock()
-	g, ok := r.golden[app]
-	r.mu.Unlock()
-	if ok {
-		return g
+// Prefetch declares a point set up front and fans it out across the worker
+// pool without waiting for completion. Drivers call it with every point they
+// are about to consume, then collect results in paper order through the
+// normal Run/Baseline/... calls, which join the in-flight simulations.
+// Errors surface on those consuming calls (a prefetched point nobody
+// consumes keeps its error memoized but never reports it).
+func (r *Runner) Prefetch(points ...Point) {
+	for _, p := range points {
+		p := p
+		go func() { _, _ = r.Run(p.App, p.Scheme, p.Variant) }()
 	}
+}
+
+// PrefetchSchemes is shorthand for prefetching the cross product
+// apps x schemes with the default variant.
+func (r *Runner) PrefetchSchemes(apps []string, schemes ...mc.Scheme) {
+	pts := make([]Point, 0, len(apps)*len(schemes))
+	for _, app := range apps {
+		for _, s := range schemes {
+			pts = append(pts, Point{App: app, Scheme: s})
+		}
+	}
+	r.Prefetch(pts...)
+}
+
+// Golden returns (computing once, singleflighted) the exact functional
+// output of app. The error is the workloads.New lookup error for an unknown
+// app, so a misspelled name surfaces instead of scoring every run against a
+// nil output.
+func (r *Runner) Golden(app string) ([]float32, error) {
+	r.mu.Lock()
+	if e, ok := r.golden[app]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.out, e.err
+	}
+	e := &goldenEntry{done: make(chan struct{})}
+	r.golden[app] = e
+	r.mu.Unlock()
+
 	kern, err := workloads.New(app)
 	if err != nil {
-		return nil
+		e.err = err
+	} else {
+		e.out = sim.RunFunctional(kern, r.opts.Seed)
 	}
-	g = sim.RunFunctional(kern, r.opts.Seed)
-	r.mu.Lock()
-	r.golden[app] = g
-	r.mu.Unlock()
-	return g
+	close(e.done)
+	return e.out, e.err
+}
+
+// DMSScheme is Static-DMS with the given delay; run keys built from it match
+// the DMS helper, so drivers can Prefetch sweep points.
+func DMSScheme(delay int) mc.Scheme {
+	s := mc.StaticDMS
+	s.StaticDelay = delay
+	return s
+}
+
+// AMSScheme is Static-AMS with the given Th_RBL.
+func AMSScheme(th int) mc.Scheme {
+	s := mc.StaticAMS
+	s.StaticThRBL = th
+	return s
+}
+
+// BothScheme is Static-DMS(delay)+Static-AMS(th).
+func BothScheme(delay, th int) mc.Scheme {
+	s := mc.StaticBoth
+	s.StaticDelay = delay
+	s.StaticThRBL = th
+	return s
 }
 
 // Baseline is shorthand for the default-configuration baseline run.
@@ -146,22 +268,15 @@ func (r *Runner) Baseline(app string) (*sim.Result, error) {
 
 // DMS returns the Static-DMS(X) run for app.
 func (r *Runner) DMS(app string, delay int) (*sim.Result, error) {
-	s := mc.StaticDMS
-	s.StaticDelay = delay
-	return r.Run(app, s, Variant{})
+	return r.Run(app, DMSScheme(delay), Variant{})
 }
 
 // AMS returns the Static-AMS(th) run for app.
 func (r *Runner) AMS(app string, th int) (*sim.Result, error) {
-	s := mc.StaticAMS
-	s.StaticThRBL = th
-	return r.Run(app, s, Variant{})
+	return r.Run(app, AMSScheme(th), Variant{})
 }
 
 // Both returns the Static-DMS(delay)+Static-AMS(th) run for app.
 func (r *Runner) Both(app string, delay, th int) (*sim.Result, error) {
-	s := mc.StaticBoth
-	s.StaticDelay = delay
-	s.StaticThRBL = th
-	return r.Run(app, s, Variant{})
+	return r.Run(app, BothScheme(delay, th), Variant{})
 }

@@ -31,6 +31,12 @@ func classify(v float64, lowHi, medHi float64) string {
 // prints both the measured value and its Low/Medium/High class, next to the
 // paper's class for comparison.
 func runTable2(r *Runner, w io.Writer, _ string) error {
+	// Every feature column reuses the same sweep shape per app: baseline, the
+	// full DMS delay sweep, and AMS at Th in {8, 4, 2, 1}.
+	prefetchDelaySweep(r, r.Apps())
+	for _, th := range []int{8, 4, 2, 1} {
+		r.PrefetchSchemes(r.Apps(), AMSScheme(th))
+	}
 	header(w, "measured application features (Table III thresholds)")
 	fmt.Fprintf(w, "%-14s %-3s | %-16s | %-12s | %-14s | %-16s | %-14s\n",
 		"app", "grp", "thrash(req%1-8)", "MTD(cycles)", "act-sens(%)", "thrbl-sens(%)", "err-tol(err@10%)")

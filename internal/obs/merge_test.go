@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func putFloat32(b []byte, v float32) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(v))
+}
+
+// TestMergeCmdTraces checks the deterministic merge contract: sum-exact
+// Total/Dropped and stable cycle order (same-cycle commands keep argument
+// order, mirroring the sequential partition tick order).
+func TestMergeCmdTraces(t *testing.T) {
+	a := NewCmdTrace(2)
+	b := NewCmdTrace(2)
+	// a wraps: 3 adds into cap 2.
+	a.Add(CmdACT, 0, 0, 1, 10)
+	a.Add(CmdRD, 0, 0, 1, 20)
+	a.Add(CmdRD, 0, 1, 2, 30)
+	b.Add(CmdACT, 1, 0, 5, 20)
+	b.Add(CmdWR, 1, 0, 5, 40)
+
+	m := MergeCmdTraces(a, b)
+	if got, want := m.Total(), uint64(5); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	if got, want := m.Dropped(), uint64(1); got != want {
+		t.Fatalf("Dropped = %d, want %d", got, want)
+	}
+	cmds := m.Commands()
+	if len(cmds) != 4 {
+		t.Fatalf("retained %d commands, want 4", len(cmds))
+	}
+	wantOrder := []struct {
+		cycle   uint64
+		channel int16
+	}{{20, 0}, {20, 1}, {30, 0}, {40, 1}}
+	for i, w := range wantOrder {
+		if cmds[i].Cycle != w.cycle || cmds[i].Channel != w.channel {
+			t.Errorf("cmds[%d] = cycle %d ch %d, want cycle %d ch %d",
+				i, cmds[i].Cycle, cmds[i].Channel, w.cycle, w.channel)
+		}
+	}
+
+	if MergeCmdTraces(nil, nil) != nil {
+		t.Errorf("merge of all-nil traces should be nil")
+	}
+	if m2 := MergeCmdTraces(a, nil); m2.Total() != a.Total() {
+		t.Errorf("nil input should be skipped: Total = %d, want %d", m2.Total(), a.Total())
+	}
+}
+
+// TestMergeAuditLogs checks counter sums, stable-by-cycle entry order, and
+// adaptation-trace merging.
+func TestMergeAuditLogs(t *testing.T) {
+	a := NewAuditLog(4)
+	b := NewAuditLog(4)
+	a.Record(Decision{Cycle: 10, Channel: 0, Reason: ReasonAMSDrop})
+	a.Record(Decision{Cycle: 30, Channel: 0, Reason: ReasonDMSDelayHold})
+	a.Tally(ReasonDMSDelayHold)
+	b.Record(Decision{Cycle: 10, Channel: 1, Reason: ReasonAMSDrop})
+	b.Record(Decision{Cycle: 20, Channel: 1, Reason: ReasonAMSRowOpen})
+	a.RecordAdapt(AdaptPoint{Cycle: 1024, Channel: 0, Unit: "dms"})
+	b.RecordAdapt(AdaptPoint{Cycle: 1024, Channel: 1, Unit: "dms"})
+
+	m := MergeAuditLogs(a, b)
+	if got, want := m.Total(), uint64(5); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	if got, want := m.Count(ReasonAMSDrop), uint64(2); got != want {
+		t.Errorf("Count(drop) = %d, want %d", got, want)
+	}
+	if got, want := m.Count(ReasonDMSDelayHold), uint64(2); got != want {
+		t.Errorf("Count(hold) = %d, want %d", got, want)
+	}
+	ents := m.Entries()
+	if len(ents) != 4 {
+		t.Fatalf("retained %d entries, want 4", len(ents))
+	}
+	wantOrder := []struct {
+		cycle   uint64
+		channel int
+	}{{10, 0}, {10, 1}, {20, 1}, {30, 0}}
+	for i, w := range wantOrder {
+		if ents[i].Cycle != w.cycle || ents[i].Channel != w.channel {
+			t.Errorf("entries[%d] = cycle %d ch %d, want cycle %d ch %d",
+				i, ents[i].Cycle, ents[i].Channel, w.cycle, w.channel)
+		}
+	}
+	ad := m.Adapt()
+	if len(ad) != 2 || ad[0].Channel != 0 || ad[1].Channel != 1 {
+		t.Errorf("adapt merge lost stable order: %+v", ad)
+	}
+	s := m.Summary()
+	if s.RingDropped != 1 {
+		t.Errorf("RingDropped = %d, want 1 (one tallied-only decision)", s.RingDropped)
+	}
+	if MergeAuditLogs(nil, nil) != nil {
+		t.Errorf("merge of all-nil logs should be nil")
+	}
+}
+
+// TestQualityLogMerge checks counter/histogram sums and that the merged
+// worst-offenders list is deterministic for a fixed merge order.
+func TestQualityLogMerge(t *testing.T) {
+	mkLine := func(v float32) []byte {
+		b := make([]byte, 4)
+		putFloat32(b, v)
+		return b
+	}
+	a := NewQualityLog(2)
+	b := NewQualityLog(2)
+	a.RecordLine(10, 0x100, mkLine(1.5), mkLine(1.0)) // rel 0.5
+	b.RecordLine(20, 0x200, mkLine(3.0), mkLine(1.0)) // rel 2.0
+	b.RecordLine(30, 0x300, mkLine(1.1), mkLine(1.0)) // rel 0.1
+
+	m := NewQualityLog(2)
+	m.Merge(a)
+	m.Merge(b)
+	if got, want := m.Lines(), uint64(3); got != want {
+		t.Fatalf("Lines = %d, want %d", got, want)
+	}
+	if got, want := m.Words(), uint64(3); got != want {
+		t.Fatalf("Words = %d, want %d", got, want)
+	}
+	if m.MaxRel() < 1.99 || m.MaxRel() > 2.01 {
+		t.Errorf("MaxRel = %g, want ~2.0", m.MaxRel())
+	}
+	sum := m.Summary()
+	if len(sum.Worst) != 2 {
+		t.Fatalf("worst list has %d entries, want cap 2", len(sum.Worst))
+	}
+	if sum.Worst[0].Addr != 0x200 || sum.Worst[1].Addr != 0x100 {
+		t.Errorf("worst order = %#x, %#x; want 0x200, 0x100", sum.Worst[0].Addr, sum.Worst[1].Addr)
+	}
+}
+
+// TestTracerMerge checks per-stage histogram sums.
+func TestTracerMerge(t *testing.T) {
+	a := &Tracer{}
+	b := &Tracer{}
+	a.Observe(StageDRAM, 10)
+	b.Observe(StageDRAM, 30)
+	b.Observe(StageMCQueue, 5)
+	m := &Tracer{}
+	m.Merge(a)
+	m.Merge(b)
+	if got := m.Hist(StageDRAM).Count(); got != 2 {
+		t.Errorf("DRAM count = %d, want 2", got)
+	}
+	if got := m.Hist(StageDRAM).Mean(); got != 20 {
+		t.Errorf("DRAM mean = %g, want 20", got)
+	}
+	if got := m.Hist(StageMCQueue).Count(); got != 1 {
+		t.Errorf("MCQueue count = %d, want 1", got)
+	}
+	m.Merge(nil) // nil-safe
+}
+
+// TestCollectorShards checks shard creation, capacity division, and that the
+// merged telemetry folds shard state back together.
+func TestCollectorShards(t *testing.T) {
+	c := NewCollector(Options{Latency: true, TraceCapacity: 8, AuditCapacity: 8, Quality: true})
+	c.EnsureShards(4)
+	for i := 0; i < 4; i++ {
+		s := c.Shard(i)
+		if s == nil {
+			t.Fatalf("shard %d is nil", i)
+		}
+		if s.Trace == nil || s.Audit == nil || s.Quality == nil || s.Tracer == nil {
+			t.Fatalf("shard %d missing enabled features: %+v", i, s)
+		}
+	}
+	// Per-shard ring capacity is total/4 = 2: 3 adds on one shard drop 1.
+	tr := c.Shard(0).Trace
+	tr.Add(CmdACT, 0, 0, 1, 1)
+	tr.Add(CmdRD, 0, 0, 1, 2)
+	tr.Add(CmdRD, 0, 0, 1, 3)
+	c.Shard(1).Trace.Add(CmdACT, 1, 0, 7, 2)
+	c.Shard(2).Audit.Record(Decision{Cycle: 5, Channel: 2, Reason: ReasonAMSDrop})
+	c.Tracer.Observe(StageTotal, 100)
+	c.Shard(3).Tracer.Observe(StageDRAM, 9)
+
+	tel := c.Telemetry()
+	if tel.TraceCmds != 4 || tel.TraceDropped != 1 {
+		t.Errorf("trace totals = %d/%d, want 4/1", tel.TraceCmds, tel.TraceDropped)
+	}
+	if tel.Audit == nil || tel.Audit.AMSDrops != 1 {
+		t.Errorf("audit digest missing shard decision: %+v", tel.Audit)
+	}
+	if len(tel.Stages) != 2 {
+		t.Errorf("stages = %+v, want total + dram.service", tel.Stages)
+	}
+	if got := c.AuditCount(ReasonAMSDrop); got != 1 {
+		t.Errorf("AuditCount = %d, want 1", got)
+	}
+
+	// Nil-safety: disabled collector and shard hand out nil features.
+	var nc *Collector
+	nc.EnsureShards(4)
+	if nc.Shard(0).ShardTrace() != nil || nc.Shard(0).ShardAudit() != nil {
+		t.Errorf("nil collector shard should hand out nil features")
+	}
+	if nc.Telemetry() != nil {
+		t.Errorf("nil collector Telemetry should be nil")
+	}
+}

@@ -66,13 +66,19 @@ type GPU struct {
 	l1Misses   uint64
 
 	// Observability state; col is nil (and tr/sampler with it) when disabled,
-	// so the hot loop pays a single nil check per hook. met publishes live
-	// metrics into the run's registry for concurrent scraping.
+	// so the hot loop pays a single nil check per hook. tr is the SM-side
+	// tracer, only observed from the serial sections; everything a partition
+	// records goes to its private obs shard. met publishes live metrics into
+	// the run's registry for concurrent scraping.
 	col     *obs.Collector
 	tr      *obs.Tracer
 	sampler *obs.Sampler
 	met     *gpuMetrics
 	prev    sampleState
+
+	// pool, when non-nil (Config.ShardPartitions), ticks partitions on
+	// worker goroutines with a bulk-synchronous barrier per cycle.
+	pool *shardPool
 }
 
 // sampleState remembers the cumulative counters at the previous time-series
@@ -99,6 +105,10 @@ func NewGPU(cfg Config, scheme mc.Scheme, kern Kernel, im *memimage.Image) *GPU 
 	}
 	g.col = obs.NewCollector(g.cfg.Obs)
 	nParts := cfg.AddrMap.NumChannels
+	// Observability state is sharded per partition unconditionally: the
+	// sequential and sharded tick paths then write the exact same per-shard
+	// structures, so their merged digests are identical by construction.
+	g.col.EnsureShards(nParts)
 	if g.col != nil {
 		g.tr = g.col.Tracer
 		g.sampler = g.col.Sampler
@@ -108,16 +118,20 @@ func NewGPU(cfg Config, scheme mc.Scheme, kern Kernel, im *memimage.Image) *GPU 
 		}
 	}
 	for p := 0; p < nParts; p++ {
-		g.partitions = append(g.partitions, newPartition(p, &g.cfg, im, annot, scheme, g.col))
+		g.partitions = append(g.partitions, newPartition(p, &g.cfg, im, annot, scheme, g.col.Shard(p)))
 	}
 	g.reqNet = icnt.New(g.cfg.icntConfig(nParts))
 	g.replyNet = icnt.New(g.cfg.icntConfig(cfg.NumSMs))
+	if cfg.ShardPartitions && nParts > 1 {
+		g.pool = newShardPool(g.partitions, cfg.ShardWorkers)
+	}
 	return g
 }
 
 // Run executes every phase of the kernel to completion and returns
 // aggregated statistics.
 func (g *GPU) Run() (*Result, error) {
+	defer g.pool.close() // stop the shard workers on every exit path
 	for ph := 0; ph < g.kern.Phases(); ph++ {
 		g.seedPhase(ph)
 		if err := g.runPhase(); err != nil {
@@ -172,10 +186,16 @@ func (g *GPU) runPhase() error {
 		g.memAcc += memPerCore
 		if g.memAcc >= 1 {
 			g.memAcc--
-			for _, p := range g.partitions {
-				p.memTick(g.memCycle)
+			if g.pool != nil {
+				g.pool.memTick(g.memCycle)
+			} else {
+				for _, p := range g.partitions {
+					p.memTick(g.memCycle)
+				}
 			}
 			g.memCycle++
+			// Probes below run on this goroutine strictly after the barrier
+			// (or the sequential loop), so they read quiesced state only.
 			if g.sampler != nil {
 				g.sampler.Tick(g.memCycle, g.probeSample)
 			}
@@ -199,12 +219,29 @@ func (g *GPU) shutdown() {
 func (g *GPU) coreTick() {
 	now := g.coreCycle
 	// 1. Partitions release due L2-hit replies and push replies to the net.
-	for _, p := range g.partitions {
-		p.coreTick(now)
-		if r := p.popReply(); r != nil {
-			r.SentAt = now
-			if !g.replyNet.Send(p.id, r.Req.SM, r, now) {
-				p.unpopReply(r)
+	// The partition half (draining each hit heap into its own outReplies) is
+	// independent per partition, so it shards across the pool; the reply
+	// sends touch the shared reply network and stay serial, in partition
+	// order — the same order the sequential loop sends in, since a
+	// partition's coreTick never reads another partition's state.
+	if g.pool != nil {
+		g.pool.coreTick(now)
+		for _, p := range g.partitions {
+			if r := p.popReply(); r != nil {
+				r.SentAt = now
+				if !g.replyNet.Send(p.id, r.Req.SM, r, now) {
+					p.unpopReply(r)
+				}
+			}
+		}
+	} else {
+		for _, p := range g.partitions {
+			p.coreTick(now)
+			if r := p.popReply(); r != nil {
+				r.SentAt = now
+				if !g.replyNet.Send(p.id, r.Req.SM, r, now) {
+					p.unpopReply(r)
+				}
 			}
 		}
 	}
@@ -245,6 +282,14 @@ func (g *GPU) sendReq(now uint64) func(*core.MemReq) bool {
 // probeSample snapshots the time-series quantities for one sampling window
 // of `window` memory cycles. Rate-like fields are deltas over the window;
 // queue occupancy, DMS delay, and AMS Th_RBL are instantaneous.
+//
+// Concurrency contract: probeSample (like publishMetrics and collect) runs
+// on the simulation goroutine strictly between pool barriers, so every
+// per-partition counter it reads is quiesced — the shard workers are parked
+// in their task channels and the barrier's WaitGroup gave this goroutine
+// happens-before visibility of all their writes. Live /metrics scrapes never
+// call into here; they read only the atomic registry values publishMetrics
+// stores.
 func (g *GPU) probeSample(window uint64) obs.Sample {
 	insts := g.insts
 	for _, s := range g.sms {
@@ -342,8 +387,8 @@ func (g *GPU) collect() *Result {
 	if g.col != nil {
 		g.sampler.Flush(g.memCycle, g.probeSample)
 		res.Telemetry = g.col.Telemetry()
-		res.Trace = g.col.Trace
-		res.Audit = g.col.Audit
+		res.Trace = g.col.MergedTrace()
+		res.Audit = g.col.MergedAudit()
 	}
 	if g.cfg.Fault.Enabled {
 		fs := g.faultSummary()
@@ -385,7 +430,7 @@ func (g *GPU) faultSummary() *obs.FaultSummary {
 		Digest:         agg.Digest,
 	}
 	if g.col != nil {
-		fs.Quality = g.col.FaultQuality.Summary()
+		fs.Quality = g.col.MergedFaultQuality().Summary()
 	}
 	return fs
 }

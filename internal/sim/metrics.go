@@ -176,17 +176,20 @@ func (g *GPU) publishMetrics() {
 	m.delay.Set(float64(delay))
 	m.thRBL.Set(float64(th))
 
-	if g.col != nil {
-		if a := g.col.Audit; a != nil {
-			for r, metric := range m.auditReasons {
-				metric.Set(float64(a.Count(obs.Reason(r))))
-			}
+	// The audit and quality counters live in per-partition obs shards; the
+	// collector sums them here. Like the rest of publishMetrics this runs on
+	// the simulation goroutine between pool barriers (quiesced state), and
+	// scrapers only ever read the atomic metrics written below.
+	if g.col.AuditEnabled() {
+		for r, metric := range m.auditReasons {
+			metric.Set(float64(g.col.AuditCount(obs.Reason(r))))
 		}
-		if q := g.col.Quality; q != nil {
-			m.qualLines.Set(float64(q.Lines()))
-			m.qualWords.Set(float64(q.Words()))
-			m.qualMeanRel.Set(q.MeanRel())
-			m.qualMaxRel.Set(q.MaxRel())
-		}
+	}
+	if g.col.QualityEnabled() {
+		lines, words, meanRel, maxRel := g.col.QualityCounters()
+		m.qualLines.Set(float64(lines))
+		m.qualWords.Set(float64(words))
+		m.qualMeanRel.Set(meanRel)
+		m.qualMaxRel.Set(maxRel)
 	}
 }

@@ -77,16 +77,20 @@ type partition struct {
 	outReplies []*core.MemReply
 }
 
-func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotations, scheme mc.Scheme, col *obs.Collector) *partition {
+// newPartition wires partition id. shard is the partition's private slice of
+// observability state (nil when observability is off): everything the
+// partition records during its tick paths goes there and only there, so
+// partitions can tick concurrently without sharing any obs structure.
+func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotations, scheme mc.Scheme, shard *obs.Shard) *partition {
 	p := &partition{id: id, cfg: cfg, im: im, annot: annot}
 	p.l2 = cache.New(cfg.L2)
 	p.mshr = cache.NewMSHR(cfg.L2MSHREntries, cfg.L2MSHRTargets)
 	p.dchan = dram.NewChannel(cfg.DRAM, &p.st)
-	if col != nil {
-		p.tr = col.Tracer
-		p.qual = col.Quality
-		p.fq = col.FaultQuality
-		p.dchan.SetTrace(col.Trace, id)
+	if shard != nil {
+		p.tr = shard.ShardTracer()
+		p.qual = shard.ShardQuality()
+		p.fq = shard.ShardFaultQuality()
+		p.dchan.SetTrace(shard.ShardTrace(), id)
 	}
 	switch cfg.VPKind {
 	case "zero":
@@ -101,8 +105,8 @@ func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotat
 	mcCfg.Scheme = scheme
 	p.ctrl = mc.New(mcCfg, p.dchan, &p.st, p.onMCComplete, p.vp.Ready)
 	p.ctrl.SetTracer(p.tr)
-	if col != nil {
-		p.ctrl.SetAudit(col.Audit, id)
+	if shard != nil {
+		p.ctrl.SetAudit(shard.ShardAudit(), id)
 	}
 	if cfg.Fault.Enabled {
 		p.inj = fault.NewInjector(cfg.Fault, id, cfg.DRAM.RowBytes, &p.st)

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// shardPool ticks memory partitions on a persistent pool of worker
+// goroutines using a bulk-synchronous barrier per dispatch: the main
+// goroutine publishes one task to every worker, each worker ticks its fixed
+// subset of partitions, and dispatch returns only after every worker has
+// finished (sync.WaitGroup). The barrier gives the main goroutine
+// happens-before visibility of everything the workers wrote, so probes that
+// run between dispatches (probeSample, publishMetrics, collect) read fully
+// quiesced state without extra locking.
+//
+// Determinism: partition p is always ticked by worker p%workers, partitions
+// within one worker run in increasing order, and partitions never share
+// mutable state during a dispatch — each owns its controller, DRAM channel,
+// stats, fault injector, and obs shard, and touches only its own channel's
+// lines of the memory image. Cross-partition effects happen exclusively in
+// the serial sections between barriers, so the execution is equivalent to
+// the sequential 0..N-1 loop cycle for cycle.
+type shardPool struct {
+	parts   []*partition
+	workers int
+	tasks   []chan shardTask
+	wg      sync.WaitGroup
+}
+
+// shardTask is one barrier-delimited unit of work: tick every owned
+// partition's memory side (or core side) at the given cycle.
+type shardTask struct {
+	now  uint64
+	core bool
+}
+
+// newShardPool starts workers goroutines (0 picks GOMAXPROCS); the pool is
+// capped at one worker per partition. Callers must close() the pool to stop
+// the goroutines.
+func newShardPool(parts []*partition, workers int) *shardPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sp := &shardPool{parts: parts, workers: workers}
+	sp.tasks = make([]chan shardTask, workers)
+	for w := 0; w < workers; w++ {
+		ch := make(chan shardTask, 1)
+		sp.tasks[w] = ch
+		go sp.run(w, ch)
+	}
+	return sp
+}
+
+func (sp *shardPool) run(w int, ch <-chan shardTask) {
+	for t := range ch {
+		for p := w; p < len(sp.parts); p += sp.workers {
+			if t.core {
+				sp.parts[p].coreTick(t.now)
+			} else {
+				sp.parts[p].memTick(t.now)
+			}
+		}
+		sp.wg.Done()
+	}
+}
+
+// memTick runs one memory cycle across all partitions and waits for the
+// barrier.
+func (sp *shardPool) memTick(now uint64) { sp.dispatch(shardTask{now: now}) }
+
+// coreTick runs the partition half of one core cycle (releasing due L2-hit
+// replies) across all partitions and waits for the barrier.
+func (sp *shardPool) coreTick(now uint64) { sp.dispatch(shardTask{now: now, core: true}) }
+
+func (sp *shardPool) dispatch(t shardTask) {
+	sp.wg.Add(sp.workers)
+	for _, ch := range sp.tasks {
+		ch <- t
+	}
+	sp.wg.Wait()
+}
+
+// close stops the worker goroutines. The pool must be idle (no dispatch in
+// flight); safe to call more than once.
+func (sp *shardPool) close() {
+	if sp == nil || sp.tasks == nil {
+		return
+	}
+	for _, ch := range sp.tasks {
+		close(ch)
+	}
+	sp.tasks = nil
+}
