@@ -7,12 +7,24 @@
 // With no ids, every experiment runs in paper order. Each experiment writes
 // <out>/<id>.txt plus any binary artifacts (e.g. Fig. 14's PGM images), and
 // echoes its output to stdout.
+//
+// Observability:
+//
+//	-runlog PREFIX   record every run's lifecycle (queueing, worker slot,
+//	                 wall-clock, dedup joins) and write PREFIX.trace.json
+//	                 (Chrome trace_event — open it in Perfetto),
+//	                 PREFIX.events.jsonl, and PREFIX.sweep.json (the summary
+//	                 block, same shape as lazysim -sweep -json)
+//	-metrics-addr A  serve the live registry — including the sweep families —
+//	                 on A: /metrics (Prometheus text) and /vars (expvar JSON)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -22,6 +34,7 @@ import (
 	"time"
 
 	"lazydram/internal/exp"
+	"lazydram/internal/obs"
 )
 
 func main() {
@@ -33,6 +46,9 @@ func main() {
 
 		workers = flag.Int("workers", 0, "concurrent simulations (0: GOMAXPROCS); results are identical for any value")
 		shard   = flag.Bool("shard", false, "also shard each simulation's partition ticking (bit-identical; see DESIGN.md)")
+
+		runlog      = flag.String("runlog", "", "write PREFIX.trace.json (Chrome trace), PREFIX.events.jsonl, and PREFIX.sweep.json from the run-lifecycle log")
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics (Prometheus) and /vars (expvar JSON) on this address during the batch")
 
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -75,6 +91,26 @@ func main() {
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, addr, err := serveMetrics(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics and /vars\n", addr)
+	}
+	var rl *obs.RunLog
+	if *runlog != "" || reg != nil {
+		rlOpts := obs.RunLogOptions{Metrics: reg}
+		if fi, err := os.Stderr.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+			rlOpts.Progress = os.Stderr
+		}
+		rl = obs.NewRunLog(rlOpts)
+		opts.RunLog = rl
+	}
 	runner := exp.NewRunner(opts)
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -103,4 +139,72 @@ func main() {
 		fmt.Fprintf(w, "\n[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
 		f.Close()
 	}
+
+	if rl != nil {
+		runner.Wait()
+		rl.FinishProgress()
+		sum := rl.Summary()
+		if *runlog != "" {
+			if err := writeRunLog(rl, sum, *runlog); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr,
+			"runlog: %d runs (%d executed, %d deduped, %d errors) in %.1fs, occupancy %.0f%%\n",
+			sum.Runs, sum.Executed, sum.Deduped, sum.Errors,
+			sum.Timing.WallSeconds, 100*sum.Timing.WorkerOccupancy)
+		if err := rl.Reconcile(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeRunLog exports the run log: PREFIX.trace.json (Chrome trace_event),
+// PREFIX.events.jsonl, and PREFIX.sweep.json carrying {"sweep": summary} so
+// tooling reads the block at the same path as in lazysim -sweep -json.
+func writeRunLog(rl *obs.RunLog, sum *obs.SweepSummary, prefix string) error {
+	tf, err := os.Create(prefix + ".trace.json")
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := rl.WriteChromeTrace(tf); err != nil {
+		return err
+	}
+	ef, err := os.Create(prefix + ".events.jsonl")
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	if err := rl.WriteEventsJSONL(ef); err != nil {
+		return err
+	}
+	sf, err := os.Create(prefix + ".sweep.json")
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	return json.NewEncoder(sf).Encode(map[string]any{"sweep": sum})
+}
+
+// serveMetrics starts an HTTP server exposing the registry: Prometheus text
+// exposition at /metrics and expvar-style JSON at /vars. It returns the
+// bound address so callers can use ":0".
+func serveMetrics(addr string, reg *obs.Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/vars", reg.ExpvarHandler())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
+	}()
+	return srv, ln.Addr().String(), nil
 }

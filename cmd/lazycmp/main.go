@@ -15,6 +15,11 @@
 //	-thresholds S   per-metric overrides, e.g. "ipc=0.02,stage.*=0.10";
 //	                a trailing * matches by prefix, later entries win ties
 //	                only by being more specific (exact > longest prefix)
+//	-ignore S       comma-separated metric patterns (same matching as
+//	                -thresholds) excluded from the comparison entirely —
+//	                for nondeterministic keys like sweep.timing.* where no
+//	                finite threshold works (a change from exactly 0 has
+//	                infinite relative delta)
 //	-json FILE      write the delta document to FILE ("-" for stdout)
 //	-report-only    always exit 0; print and emit deltas only
 //	-fail-on-new    treat metrics present in only one document as failures
@@ -51,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxRel     = fs.Float64("max-rel", 0, "allowed |relative delta| for every metric (0 = exact match)")
 		minAbs     = fs.Float64("min-abs", 0, "ignore deltas with |absolute delta| below this")
 		thresholds = fs.String("thresholds", "", `per-metric threshold overrides, e.g. "ipc=0.02,stage.*=0.10"`)
+		ignore     = fs.String("ignore", "", `comma-separated metric patterns to exclude entirely, e.g. "sweep.timing.*"`)
 		jsonOut    = fs.String("json", "", `write the machine-readable delta document here ("-" for stdout)`)
 		reportOnly = fs.Bool("report-only", false, "never fail: print and emit deltas, exit 0")
 		failOnNew  = fs.Bool("fail-on-new", false, "fail when a metric exists in only one document")
@@ -85,9 +91,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "lazycmp: warning: %s: skipping non-finite metric %s\n", candPath, n)
 	}
 
+	ignored := dropIgnored(parseIgnore(*ignore), base, cand)
+
 	doc := compare(base, cand, cmpConfig{maxRel: *maxRel, minAbs: *minAbs, overrides: th})
 	doc.Baseline = basePath
 	doc.Candidate = candPath
+	doc.Ignored = ignored
 
 	printTable(stdout, doc)
 
@@ -178,6 +187,42 @@ func flatten(doc map[string]any) (out map[string]float64, skipped []string) {
 			// derived top-N whose membership may flap on ties.
 		case "app", "scheme":
 			// run identity, not metrics
+		case "runs":
+			// lazysim -sweep -json: one row per run, keyed by its identity.
+			arr, _ := v.([]any)
+			for _, e := range arr {
+				m, ok := e.(map[string]any)
+				if !ok {
+					continue
+				}
+				app, _ := m["app"].(string)
+				scheme, _ := m["scheme"].(string)
+				if app == "" || scheme == "" {
+					continue
+				}
+				for _, f := range []string{"ipc", "activations", "row_energy_nj", "app_error", "coverage"} {
+					if x, ok := m[f]; ok {
+						put("run."+app+"."+scheme+"."+f, x)
+					}
+				}
+			}
+		case "sweep":
+			// Run-lifecycle summary: the counts are deterministic (invariant
+			// under worker count) and gate; everything wall-clock lives under
+			// sweep.timing.* so one -ignore prefix rule excludes it. Workers
+			// is a knob, not a result, and spans are per-run raw material.
+			m, _ := v.(map[string]any)
+			for _, f := range []string{"runs", "executed", "deduped", "errors",
+				"prefetch_hits", "events", "sim_cycles"} {
+				if x, ok := m[f]; ok {
+					put("sweep."+f, x)
+				}
+			}
+			if tm, ok := m["timing"].(map[string]any); ok {
+				for tk, tv := range tm {
+					put("sweep.timing."+tk, tv) // non-numeric (the histogram array) is skipped by put
+				}
+			}
 		case "energy_by_channel":
 			arr, _ := v.([]any)
 			for _, e := range arr {
@@ -267,6 +312,51 @@ func putQuality(put func(string, any), prefix string, qm map[string]any) {
 	}
 }
 
+// parseIgnore splits the -ignore pattern list (exact names, or trailing-*
+// prefixes — the same matching as -thresholds).
+func parseIgnore(s string) []string {
+	var pats []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			pats = append(pats, p)
+		}
+	}
+	return pats
+}
+
+// ignoreMatch reports whether a metric name matches any ignore pattern.
+func ignoreMatch(name string, pats []string) bool {
+	for _, pat := range pats {
+		if pat == name {
+			return true
+		}
+		if p, ok := strings.CutSuffix(pat, "*"); ok && strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// dropIgnored removes matching metrics from both documents and returns how
+// many distinct names were excluded. Unlike a loose threshold, exclusion
+// also suppresses the unmatched (one-sided) status, which is what
+// nondeterministic keys need under -fail-on-new.
+func dropIgnored(pats []string, maps ...map[string]float64) int {
+	if len(pats) == 0 {
+		return 0
+	}
+	dropped := make(map[string]bool)
+	for _, m := range maps {
+		for name := range m {
+			if ignoreMatch(name, pats) {
+				delete(m, name)
+				dropped[name] = true
+			}
+		}
+	}
+	return len(dropped)
+}
+
 // thresholdRule is one "-thresholds" entry; Pattern with a trailing *
 // matches by prefix.
 type thresholdRule struct {
@@ -349,6 +439,7 @@ type DeltaDoc struct {
 	Failed    int           `json:"failed"`
 	Unmatched int           `json:"unmatched"`
 	Skipped   int           `json:"skipped,omitempty"`
+	Ignored   int           `json:"ignored,omitempty"`
 	Metrics   []MetricDelta `json:"metrics"`
 }
 
@@ -437,6 +528,9 @@ func printTable(w io.Writer, doc DeltaDoc) {
 		doc.Compared, doc.Failed, doc.Unmatched)
 	if doc.Skipped > 0 {
 		fmt.Fprintf(w, ", %d skipped (non-finite)", doc.Skipped)
+	}
+	if doc.Ignored > 0 {
+		fmt.Fprintf(w, ", %d ignored (-ignore)", doc.Ignored)
 	}
 	fmt.Fprintln(w)
 }

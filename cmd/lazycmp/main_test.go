@@ -292,3 +292,114 @@ func TestMetricDeltaInfMarshal(t *testing.T) {
 		t.Fatalf("Inf rel encoding: %s", raw)
 	}
 }
+
+const sampleSweepDoc = `{
+	"seed": 1,
+	"runs": [
+		{"app": "jmein", "scheme": "Baseline", "ipc": 2.8, "activations": 11494,
+		 "row_energy_nj": 258615, "app_error": 0, "coverage": 0},
+		{"app": "jmein", "scheme": "Static-AMS", "ipc": 3.11, "activations": 9941,
+		 "row_energy_nj": 223672.5, "app_error": 0.092, "coverage": 0.1}
+	],
+	"sweep": {
+		"runs": 4, "executed": 2, "deduped": 2, "errors": 0,
+		"prefetch_hits": 1, "events": 14, "workers": 2, "sim_cycles": 24000,
+		"timing": {
+			"wall_seconds": 0.61, "run_mean_seconds": 0.3,
+			"run_p50_seconds": 0.29, "run_p99_seconds": 0.31,
+			"worker_occupancy": 0.95, "cycles_per_sec": 39344.2,
+			"alloc_bytes": 1048576, "mallocs": 4242,
+			"queue_wait_hist": [{"lo": 0, "hi": 1, "count": 2}]
+		},
+		"spans": [{"id": 0, "app": "jmein", "scheme": "Baseline", "state": "done"}]
+	}
+}`
+
+// TestFlattenSweepDoc: a lazysim -sweep -json document flattens to per-run
+// rows keyed by identity plus the sweep counts, with every wall-clock value
+// under the single sweep.timing.* prefix and the non-metric parts (workers,
+// spans, the histogram array) left out.
+func TestFlattenSweepDoc(t *testing.T) {
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sampleSweepDoc), &doc); err != nil {
+		t.Fatal(err)
+	}
+	m, skipped := flatten(doc)
+	if len(skipped) != 0 {
+		t.Fatalf("unexpected skipped metrics: %v", skipped)
+	}
+	for name, want := range map[string]float64{
+		"run.jmein.Baseline.ipc":             2.8,
+		"run.jmein.Baseline.activations":     11494,
+		"run.jmein.Static-AMS.row_energy_nj": 223672.5,
+		"run.jmein.Static-AMS.app_error":     0.092,
+		"run.jmein.Static-AMS.coverage":      0.1,
+		"sweep.runs":                         4,
+		"sweep.executed":                     2,
+		"sweep.deduped":                      2,
+		"sweep.errors":                       0,
+		"sweep.prefetch_hits":                1,
+		"sweep.events":                       14,
+		"sweep.sim_cycles":                   24000,
+		"sweep.timing.wall_seconds":          0.61,
+		"sweep.timing.worker_occupancy":      0.95,
+		"sweep.timing.alloc_bytes":           1048576,
+	} {
+		if got, ok := m[name]; !ok || got != want {
+			t.Errorf("flatten[%q] = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+	for _, name := range []string{"sweep.workers", "sweep.spans", "sweep.timing.queue_wait_hist", "seed"} {
+		if _, ok := m[name]; ok {
+			t.Errorf("flatten admitted %q", name)
+		}
+	}
+	// Every timing key must share the prefix one ignore rule covers.
+	for name := range m {
+		if strings.Contains(name, "seconds") && !strings.HasPrefix(name, "sweep.timing.") {
+			t.Errorf("wall-clock metric %q outside sweep.timing.*", name)
+		}
+	}
+}
+
+// TestIgnore: -ignore must fully exclude matching metrics — including
+// one-sided ones that would otherwise fail under -fail-on-new, and
+// zero-baseline changes whose relative delta is infinite and therefore
+// beyond any finite threshold.
+func TestIgnore(t *testing.T) {
+	if !ignoreMatch("sweep.timing.wall_seconds", []string{"sweep.timing.*"}) {
+		t.Fatal("prefix pattern did not match")
+	}
+	if ignoreMatch("sweep.runs", []string{"sweep.timing.*"}) {
+		t.Fatal("prefix pattern overmatched")
+	}
+	if !ignoreMatch("sweep.prefetch_hits", []string{"sweep.prefetch_hits"}) {
+		t.Fatal("exact pattern did not match")
+	}
+
+	dir := t.TempDir()
+	a := writeDoc(t, dir, "sweep-a.json", sampleSweepDoc)
+	// Candidate: different timing everywhere (incl. a key changing from 0 and
+	// a key present on one side only), identical deterministic counts.
+	b := writeDoc(t, dir, "sweep-b.json", strings.NewReplacer(
+		`"wall_seconds": 0.61`, `"wall_seconds": 1.9`,
+		`"worker_occupancy": 0.95`, `"worker_occupancy": 0.5, "queue_wait_p99_seconds": 0.4`,
+		`"prefetch_hits": 1`, `"prefetch_hits": 2`,
+	).Replace(sampleSweepDoc))
+
+	var out, errBuf bytes.Buffer
+	if got := run([]string{"-fail-on-new", a, b}, &out, &errBuf); got != 1 {
+		t.Fatalf("without -ignore: exit %d, want 1\n%s", got, out.String())
+	}
+	out.Reset()
+	args := []string{"-ignore", "sweep.timing.*,sweep.prefetch_hits", "-fail-on-new", a, b}
+	if got := run(args, &out, &errBuf); got != 0 {
+		t.Fatalf("with -ignore: exit %d, want 0\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "ignored (-ignore)") {
+		t.Fatalf("table missing ignore note:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "sweep.timing.") {
+		t.Fatalf("ignored metric still in the table:\n%s", out.String())
+	}
+}

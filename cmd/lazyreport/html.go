@@ -164,6 +164,16 @@ func writeDoc(b *strings.Builder, d *runDoc, named bool) {
 		suffix = " — " + d.title()
 	}
 
+	// A sweep document (lazysim -sweep -json / experiments -runlog) has no
+	// single-run identity: render the sweep dashboard instead of the
+	// single-run summary tiles.
+	if d.App == "" && d.CoreCycles == 0 {
+		if d.Sweep != nil {
+			writeSweepSection(b, d.Sweep, suffix)
+		}
+		return
+	}
+
 	openSection(b, "Run summary"+suffix, "")
 	writeTiles(b, []tile{
 		{"IPC", fnum(d.IPC)},
@@ -203,6 +213,90 @@ func writeDoc(b *strings.Builder, d *runDoc, named bool) {
 	if t != nil && t.Fault != nil {
 		writeFaultSection(b, t.Fault, suffix)
 	}
+}
+
+func writeSweepSection(b *strings.Builder, s *sweepSummary, suffix string) {
+	openSection(b, "Sweep dashboard"+suffix,
+		fmt.Sprintf("Run-lifecycle log of one exp.Runner sweep: %d Run calls over %d worker slots; singleflight dedupe resolved %d of them without simulating.",
+			s.Runs, s.Workers, s.Deduped))
+	writeTiles(b, []tile{
+		{"runs", fnum(float64(s.Runs))},
+		{"executed", fnum(float64(s.Executed))},
+		{"dedup-joined", fnum(float64(s.Deduped))},
+		{"errors", fnum(float64(s.Errors))},
+		{"prefetch hits", fnum(float64(s.PrefetchHits))},
+		{"worker occupancy", fmt.Sprintf("%.0f%%", 100*s.Timing.WorkerOccupancy)},
+		{"wall (s)", fnum(s.Timing.WallSeconds)},
+		{"sim cycles/s", fnum(s.Timing.CyclesPerSec)},
+	})
+
+	// Worker timeline: executed spans laid out on their slot's lane.
+	var boxes []spanBox
+	for _, sp := range s.Spans {
+		if sp.StartedUS < 0 || sp.FinishedUS < 0 || sp.Worker < 0 {
+			continue
+		}
+		cls := "s1"
+		if sp.State == "error" {
+			cls = "s2"
+		}
+		tip := fmt.Sprintf("%s/%s: %.3fs on worker %d (%s, %s cycles", sp.App, sp.Scheme,
+			float64(sp.WallUS)/1e6, sp.Worker, sp.Origin, fnum(float64(sp.SimCycles)))
+		if sp.Joins > 0 {
+			tip += fmt.Sprintf(", %d joins", sp.Joins)
+		}
+		tip += ")"
+		if sp.Err != "" {
+			tip += " — " + sp.Err
+		}
+		boxes = append(boxes, spanBox{
+			Lane: sp.Worker, Start: float64(sp.StartedUS) / 1e6, End: float64(sp.FinishedUS) / 1e6,
+			Label: sp.App + "/" + sp.Scheme, Class: cls, Tip: tip,
+		})
+	}
+	mini(b, "worker timeline (seconds; hover for the run)",
+		timelineChart(s.Workers, boxes, func(i int) string { return fmt.Sprintf("worker %d", i) }))
+
+	b.WriteString(`<div class="minis">`)
+	// Run-duration CDF over executed spans.
+	var walls []float64
+	for _, sp := range s.Spans {
+		if sp.WallUS > 0 {
+			walls = append(walls, float64(sp.WallUS)/1e6)
+		}
+	}
+	if len(walls) > 0 {
+		sort.Float64s(walls)
+		pts := make([]pt, 0, len(walls))
+		for i, wv := range walls {
+			pts = append(pts, pt{wv, float64(i + 1) / float64(len(walls))})
+		}
+		mini(b, "run-duration CDF (seconds)", lineChart([]series{{"run wall", "ls1", pts}}, nil, nil))
+	}
+	// Dedupe effectiveness.
+	mini(b, "dedupe effectiveness (runs by outcome)", barChart([]barRow{
+		{Label: "executed", Value: float64(s.Executed), Class: "s1"},
+		{Label: "dedup-joined", Value: float64(s.Deduped), Class: "s3", Note: "joined an in-flight or memoized run"},
+		{Label: "· of which prefetch hits", Value: float64(s.PrefetchHits), Class: "s3", Note: "the joined flight came from a prefetch plan"},
+		{Label: "errors", Value: float64(s.Errors), Class: "s2"},
+	}))
+	// Queue-wait histogram (µs buckets from obs.Histogram).
+	if rows := histRows(s.Timing.QueueWaitHist, "s1"); len(rows) > 0 {
+		mini(b, "queue-wait histogram (µs, log-linear buckets)", barChart(rows))
+	}
+	b.WriteString("</div>\n")
+
+	if s.Errors > 0 {
+		fmt.Fprintf(b, "<p class=\"cap\">Failed runs:</p>\n")
+		var rows [][]string
+		for _, sp := range s.Spans {
+			if sp.State == "error" {
+				rows = append(rows, []string{sp.App, sp.Scheme, sp.Origin, sp.Err})
+			}
+		}
+		writeTable(b, []string{"app", "scheme", "origin", "error"}, rows)
+	}
+	b.WriteString("</section>\n")
 }
 
 func writeFaultSection(b *strings.Builder, f *faultSummary, suffix string) {

@@ -112,6 +112,63 @@ type runDoc struct {
 
 	EnergyByChannel []chEnergy `json:"energy_by_channel"`
 	Telemetry       *telemetry `json:"telemetry"`
+
+	// Sweep is the run-lifecycle summary block of a lazysim -sweep -json or
+	// experiments -runlog document; its presence switches on the sweep
+	// dashboard section.
+	Sweep *sweepSummary `json:"sweep"`
+}
+
+type sweepSummary struct {
+	Runs         int    `json:"runs"`
+	Executed     int    `json:"executed"`
+	Deduped      int    `json:"deduped"`
+	Errors       int    `json:"errors"`
+	PrefetchHits int    `json:"prefetch_hits"`
+	Events       int    `json:"events"`
+	Workers      int    `json:"workers"`
+	SimCycles    uint64 `json:"sim_cycles"`
+
+	Timing sweepTiming `json:"timing"`
+	Spans  []sweepSpan `json:"spans"`
+}
+
+type sweepTiming struct {
+	WallSeconds         float64     `json:"wall_seconds"`
+	RunMeanSeconds      float64     `json:"run_mean_seconds"`
+	RunP50Seconds       float64     `json:"run_p50_seconds"`
+	RunP99Seconds       float64     `json:"run_p99_seconds"`
+	RunMaxSeconds       float64     `json:"run_max_seconds"`
+	QueueWaitP50Seconds float64     `json:"queue_wait_p50_seconds"`
+	QueueWaitP99Seconds float64     `json:"queue_wait_p99_seconds"`
+	QueueWaitMaxSeconds float64     `json:"queue_wait_max_seconds"`
+	WorkerOccupancy     float64     `json:"worker_occupancy"`
+	CyclesPerSec        float64     `json:"cycles_per_sec"`
+	AllocBytes          uint64      `json:"alloc_bytes"`
+	Mallocs             uint64      `json:"mallocs"`
+	QueueWaitHist       []errBucket `json:"queue_wait_hist"`
+}
+
+type sweepSpan struct {
+	ID       int    `json:"id"`
+	App      string `json:"app"`
+	Scheme   string `json:"scheme"`
+	Origin   string `json:"origin"`
+	State    string `json:"state"`
+	Worker   int    `json:"worker"`
+	Target   int    `json:"target"`
+	Prefetch bool   `json:"prefetch_hit"`
+	Err      string `json:"err"`
+
+	SubmittedUS int64 `json:"submitted_us"`
+	StartedUS   int64 `json:"started_us"`
+	FinishedUS  int64 `json:"finished_us"`
+	QueueWaitUS int64 `json:"queue_wait_us"`
+	WallUS      int64 `json:"wall_us"`
+
+	SimCycles    uint64  `json:"sim_cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Joins        int     `json:"joins"`
 }
 
 type chEnergy struct {

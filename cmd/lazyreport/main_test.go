@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -205,5 +206,101 @@ func TestReportHandlesSparseDoc(t *testing.T) {
 		if strings.Contains(page, banned) {
 			t.Errorf("sparse report should omit %q section", banned)
 		}
+	}
+}
+
+const sampleSweepDoc = `{
+	"seed": 1,
+	"runs": [
+		{"app": "jmein", "scheme": "Baseline", "ipc": 2.8, "activations": 11494,
+		 "row_energy_nj": 258615, "app_error": 0, "coverage": 0}
+	],
+	"sweep": {
+		"runs": 8, "executed": 4, "deduped": 4, "errors": 0,
+		"prefetch_hits": 3, "events": 28, "workers": 2, "sim_cycles": 48321,
+		"timing": {
+			"wall_seconds": 1.19, "run_mean_seconds": 0.56,
+			"run_p50_seconds": 0.49, "run_p99_seconds": 0.61, "run_max_seconds": 0.68,
+			"queue_wait_p50_seconds": 0.0001, "queue_wait_p99_seconds": 0.59,
+			"queue_wait_max_seconds": 0.61, "worker_occupancy": 0.94,
+			"cycles_per_sec": 40485, "alloc_bytes": 550490152, "mallocs": 4786798,
+			"queue_wait_hist": [
+				{"lo": 2, "hi": 3, "count": 1}, {"lo": 589824, "hi": 598016, "count": 3}
+			]
+		},
+		"spans": [
+			{"id": 0, "app": "jmein", "scheme": "Baseline", "origin": "prefetch",
+			 "state": "done", "worker": 0, "target": -1,
+			 "submitted_us": 10, "started_us": 50, "finished_us": 500000,
+			 "queue_wait_us": 40, "wall_us": 499950,
+			 "sim_cycles": 12000, "cycles_per_sec": 24002.4, "joins": 1},
+			{"id": 1, "app": "jmein", "scheme": "Static-AMS", "origin": "prefetch",
+			 "state": "done", "worker": 1, "target": -1,
+			 "submitted_us": 12, "started_us": 60, "finished_us": 680580,
+			 "queue_wait_us": 48, "wall_us": 680520,
+			 "sim_cycles": 12100, "cycles_per_sec": 17780.5},
+			{"id": 2, "app": "jmein", "scheme": "Baseline", "origin": "call",
+			 "state": "dedup-joined", "worker": -1, "target": 0, "prefetch_hit": true,
+			 "submitted_us": 100, "started_us": -1, "finished_us": 120}
+		]
+	}
+}`
+
+// TestReportSweepDashboard: a sweep document renders the sweep dashboard —
+// worker timeline, run-duration CDF, dedupe stats, queue-wait histogram —
+// instead of the single-run summary, and stays self-contained.
+func TestReportSweepDashboard(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(p, []byte(sampleSweepDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "sweep.html")
+	var stderr bytes.Buffer
+	if code := run([]string{p, "-o", out}, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(raw)
+	for _, want := range []string{
+		"Sweep dashboard", "worker timeline", "run-duration CDF",
+		"dedupe effectiveness", "queue-wait histogram",
+		"worker 0", "worker 1", "jmein/Baseline", "prefetch hits",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("sweep report missing %q", want)
+		}
+	}
+	if strings.Contains(page, "Run summary") {
+		t.Error("sweep report should not render the single-run summary")
+	}
+	for _, banned := range []string{"http://", "https://", "<script", "<link"} {
+		if strings.Contains(page, banned) {
+			t.Errorf("sweep report references external content: found %q", banned)
+		}
+	}
+}
+
+// TestTimelineChart: lanes render in [0, lanes), out-of-range boxes are
+// dropped, and an empty input renders nothing.
+func TestTimelineChart(t *testing.T) {
+	if got := timelineChart(2, nil, func(int) string { return "w" }); got != "" {
+		t.Errorf("empty timeline rendered %q", got)
+	}
+	svg := timelineChart(2, []spanBox{
+		{Lane: 0, Start: 0, End: 1, Label: "a", Class: "s1"},
+		{Lane: 1, Start: 0.5, End: 2, Label: "b", Class: "s1"},
+		{Lane: 7, Start: 0, End: 1, Label: "out-of-range", Class: "s1"},
+	}, func(i int) string { return fmt.Sprintf("worker %d", i) })
+	for _, want := range []string{"worker 0", "worker 1", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "out-of-range") {
+		t.Error("timeline rendered a box on a lane beyond the worker count")
 	}
 }

@@ -180,6 +180,89 @@ func lineChart(ss []series, xFmt, yFmt func(float64) string) string {
 	return b.String()
 }
 
+// --- timeline ---------------------------------------------------------------
+
+// spanBox is one slice on a timeline lane (times in seconds).
+type spanBox struct {
+	Lane       int
+	Start, End float64
+	Label      string
+	Class      string // bar class: s1, s2, s3
+	Tip        string // tooltip; Label+duration when empty
+}
+
+// timelineChart lays spans out on horizontal lanes (one per worker slot)
+// over a shared seconds axis — a static Gantt strip of the sweep.
+func timelineChart(lanes int, boxes []spanBox, laneLabel func(int) string) string {
+	if lanes <= 0 || len(boxes) == 0 {
+		return ""
+	}
+	const (
+		labelW = 70.0
+		plotW  = 690.0
+		laneH  = 26.0
+		boxH   = 16.0
+		axisH  = 24.0
+	)
+	tmax := 0.0
+	for _, bx := range boxes {
+		if bx.End > tmax {
+			tmax = bx.End
+		}
+	}
+	if tmax <= 0 {
+		tmax = 1
+	}
+	w := labelW + plotW
+	h := laneH*float64(lanes) + axisH
+	sx := func(t float64) float64 { return labelW + t/tmax*plotW }
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %g %g" width="%g" height="%g" role="img">`, w, h, w, h)
+	for i := 0; i < lanes; i++ {
+		y := float64(i) * laneH
+		fmt.Fprintf(&b, `<line class="grid" x1="%g" y1="%g" x2="%g" y2="%g"/>`,
+			labelW, y+laneH, w, y+laneH)
+		fmt.Fprintf(&b, `<text class="lbl" x="%g" y="%g" text-anchor="end">%s</text>`,
+			labelW-8, y+laneH/2+4, esc(laneLabel(i)))
+	}
+	for i := 0; i <= 4; i++ {
+		t := tmax * float64(i) / 4
+		anchor := "middle"
+		if i == 0 {
+			anchor = "start"
+		} else if i == 4 {
+			anchor = "end"
+		}
+		fmt.Fprintf(&b, `<text class="tick" x="%g" y="%g" text-anchor="%s">%ss</text>`,
+			sx(t), h-6, anchor, fnum(t))
+	}
+	fmt.Fprintf(&b, `<line class="axis" x1="%g" y1="0" x2="%g" y2="%g"/>`, labelW, labelW, h-axisH+4)
+	for _, bx := range boxes {
+		if bx.Lane < 0 || bx.Lane >= lanes || bx.End < bx.Start {
+			continue
+		}
+		x := sx(bx.Start)
+		bw := sx(bx.End) - x
+		if bw < 1 {
+			bw = 1
+		}
+		y := float64(bx.Lane)*laneH + (laneH-boxH)/2
+		tip := bx.Tip
+		if tip == "" {
+			tip = fmt.Sprintf("%s: %s–%ss", bx.Label, fnum(bx.Start), fnum(bx.End))
+		}
+		fmt.Fprintf(&b, `<rect class="bar %s" x="%g" y="%g" width="%g" height="%g" rx="2"><title>%s</title></rect>`,
+			bx.Class, x, y, bw, boxH, esc(tip))
+		// Inline label only when the slice is wide enough to hold it.
+		if bw > float64(len(bx.Label))*6+8 {
+			fmt.Fprintf(&b, `<text class="val" x="%g" y="%g">%s</text>`,
+				x+4, y+boxH-4, esc(bx.Label))
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
 // --- heatmap ----------------------------------------------------------------
 
 const rampSteps = 12

@@ -20,6 +20,10 @@
 //	                 every app in -app (comma-separated, or "all") and print
 //	                 one summary row per run; runs execute concurrently
 //	-workers N       concurrent simulations in -sweep mode (0: GOMAXPROCS)
+//	-runlog PREFIX   in -sweep mode, write the run-lifecycle log to
+//	                 PREFIX.trace.json (Chrome trace_event, one track per
+//	                 worker slot — open it in Perfetto) and
+//	                 PREFIX.events.jsonl (one lifecycle event per line)
 //
 // Observability:
 //
@@ -93,6 +97,7 @@ func main() {
 		shardWorkers = flag.Int("shard-workers", 0, "worker-pool size for -shard (0: GOMAXPROCS, capped at partition count)")
 		sweep        = flag.String("sweep", "", "comma-separated scheme list: run every scheme for every -app concurrently and print one row per run")
 		workers      = flag.Int("workers", 0, "concurrent simulations in -sweep mode (0: GOMAXPROCS)")
+		runlog       = flag.String("runlog", "", "in -sweep mode, write PREFIX.trace.json (Chrome trace) and PREFIX.events.jsonl (run-lifecycle events)")
 
 		jsonOut  = flag.Bool("json", false, "emit one JSON document with stats and telemetry")
 		sampleN  = flag.Uint64("sample-every", 1024, "time-series sampling interval in memory cycles (0 disables)")
@@ -147,10 +152,26 @@ func main() {
 	}
 
 	if *sweep != "" {
-		if err := runSweep(os.Stdout, *app, *sweep, sweepOptions{
+		so := sweepOptions{
 			Seed: *seed, Queue: *queue, Delay: *delay, ThRBL: *thrbl,
 			Workers: *workers, Shard: *shard,
-		}); err != nil {
+			JSON: *jsonOut, RunLogPrefix: *runlog,
+		}
+		if *metricsAddr != "" {
+			reg := obs.NewRegistry()
+			srv, addr, err := serveMetrics(*metricsAddr, reg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics and /vars\n", addr)
+			so.Metrics = reg
+		}
+		if fi, err := os.Stderr.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+			so.Progress = os.Stderr
+		}
+		if err := runSweep(os.Stdout, *app, *sweep, so); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -412,6 +433,56 @@ type sweepOptions struct {
 	Delay, ThRBL int
 	Workers      int
 	Shard        bool
+
+	// JSON switches the output to one sweepDoc document (rows + sweep
+	// summary block) instead of the text table.
+	JSON bool
+	// RunLogPrefix, when set, writes PREFIX.trace.json and
+	// PREFIX.events.jsonl from the run log.
+	RunLogPrefix string
+	// Metrics, when set, receives the live sweep families.
+	Metrics *obs.Registry
+	// Progress, when set, receives the interactive progress line.
+	Progress io.Writer
+}
+
+// sweepRow is one run's summary in the -sweep -json document — the same
+// columns as the text table.
+type sweepRow struct {
+	App         string  `json:"app"`
+	Scheme      string  `json:"scheme"`
+	IPC         float64 `json:"ipc"`
+	Activations uint64  `json:"activations"`
+	RowEnergyNJ float64 `json:"row_energy_nj"`
+	AppError    float64 `json:"app_error"`
+	Coverage    float64 `json:"coverage"`
+}
+
+// sweepDoc is the -sweep -json document: per-run rows in declaration order
+// plus the run-lifecycle summary block.
+type sweepDoc struct {
+	Seed  int64             `json:"seed"`
+	Runs  []sweepRow        `json:"runs"`
+	Sweep *obs.SweepSummary `json:"sweep,omitempty"`
+}
+
+// writeRunLogFiles exports the run log next to the given prefix:
+// PREFIX.trace.json (Chrome trace_event) and PREFIX.events.jsonl.
+func writeRunLogFiles(rl *obs.RunLog, prefix string) error {
+	tf, err := os.Create(prefix + ".trace.json")
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := rl.WriteChromeTrace(tf); err != nil {
+		return err
+	}
+	ef, err := os.Create(prefix + ".events.jsonl")
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	return rl.WriteEventsJSONL(ef)
 }
 
 // runSweep is the -sweep multi-run mode: the cross product of the
@@ -447,11 +518,16 @@ func runSweep(w io.Writer, appList, schemeList string, o sweepOptions) error {
 		return fmt.Errorf("sweep: need at least one app and one scheme")
 	}
 
+	var rl *obs.RunLog
+	if o.JSON || o.RunLogPrefix != "" || o.Metrics != nil || o.Progress != nil {
+		rl = obs.NewRunLog(obs.RunLogOptions{Metrics: o.Metrics, Progress: o.Progress})
+	}
 	r := exp.NewRunner(exp.Options{
 		Seed:            o.Seed,
 		Apps:            apps,
 		Workers:         o.Workers,
 		ShardPartitions: o.Shard,
+		RunLog:          rl,
 	})
 	v := exp.Variant{QueueSize: o.Queue}
 	var pts []exp.Point
@@ -463,19 +539,45 @@ func runSweep(w io.Writer, appList, schemeList string, o sweepOptions) error {
 	start := time.Now()
 	r.Prefetch(pts...)
 
-	fmt.Fprintf(w, "%-14s %-22s %-9s %-12s %-14s %-10s %-10s\n",
-		"app", "scheme", "ipc", "activations", "row-energy-nj", "app-error", "coverage")
+	var rows []sweepRow
+	if !o.JSON {
+		fmt.Fprintf(w, "%-14s %-22s %-9s %-12s %-14s %-10s %-10s\n",
+			"app", "scheme", "ipc", "activations", "row-energy-nj", "app-error", "coverage")
+	}
 	for _, p := range pts {
 		res, err := r.Run(p.App, p.Scheme, p.Variant)
 		if err != nil {
+			r.Wait()
+			rl.FinishProgress()
 			return err
+		}
+		if o.JSON {
+			rows = append(rows, sweepRow{
+				App: p.App, Scheme: p.Scheme.Name(), IPC: res.Run.IPC(),
+				Activations: res.Run.Mem.Activations, RowEnergyNJ: res.Run.RowEnergy,
+				AppError: res.Run.AppError, Coverage: res.Run.Mem.Coverage(),
+			})
+			continue
 		}
 		fmt.Fprintf(w, "%-14s %-22s %-9.4f %-12d %-14.0f %-10.4f %-10.4f\n",
 			p.App, p.Scheme.Name(), res.Run.IPC(), res.Run.Mem.Activations,
 			res.Run.RowEnergy, res.Run.AppError, res.Run.Mem.Coverage())
 	}
-	fmt.Fprintf(w, "%d runs in %v\n", len(pts), time.Since(start).Round(time.Millisecond))
-	return nil
+	r.Wait()
+	rl.FinishProgress()
+	if o.JSON {
+		if err := json.NewEncoder(w).Encode(sweepDoc{Seed: o.Seed, Runs: rows, Sweep: rl.Summary()}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(w, "%d runs in %v\n", len(pts), time.Since(start).Round(time.Millisecond))
+	}
+	if o.RunLogPrefix != "" {
+		if err := writeRunLogFiles(rl, o.RunLogPrefix); err != nil {
+			return err
+		}
+	}
+	return rl.Reconcile()
 }
 
 // ParseScheme maps a scheme name to its configuration.

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -161,5 +163,73 @@ func TestParseScheme(t *testing.T) {
 	}
 	if _, err := ParseScheme("nope", 0, 0); err == nil {
 		t.Fatal("unknown scheme accepted")
+	}
+}
+
+// TestRunSweepJSON drives -sweep -json -runlog end to end: the document must
+// carry the per-run rows in declaration order plus a sweep summary whose
+// counts are the deterministic values for this point set, and the runlog
+// files must exist and parse.
+func TestRunSweepJSON(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "sweep")
+	var buf bytes.Buffer
+	o := sweepOptions{
+		Seed: 1, Queue: 128, Delay: 128, ThRBL: 8, Workers: 2,
+		JSON: true, RunLogPrefix: prefix,
+	}
+	if err := runSweep(&buf, "jmein,LPS", "baseline,static-ams", o); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Seed int64 `json:"seed"`
+		Runs []struct {
+			App    string  `json:"app"`
+			Scheme string  `json:"scheme"`
+			IPC    float64 `json:"ipc"`
+		} `json:"runs"`
+		Sweep *obs.SweepSummary `json:"sweep"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("sweep JSON invalid: %v\n%s", err, buf.String())
+	}
+	if len(doc.Runs) != 4 {
+		t.Fatalf("rows = %d, want 4", len(doc.Runs))
+	}
+	if doc.Runs[0].App != "jmein" || doc.Runs[2].App != "LPS" {
+		t.Fatalf("rows out of declaration order: %+v", doc.Runs)
+	}
+	s := doc.Sweep
+	if s == nil {
+		t.Fatal("document has no sweep block")
+	}
+	// Each of the 4 points is requested twice (prefetch + consuming Run):
+	// exactly one executes, one joins — so every count below is invariant
+	// under the worker count and scheduling.
+	if s.Runs != 8 || s.Executed != 4 || s.Deduped != 4 || s.Errors != 0 {
+		t.Fatalf("sweep counts: %+v", s)
+	}
+	if s.Events != 28 { // 5 events per executed span + 2 per joined span
+		t.Fatalf("events = %d, want 28", s.Events)
+	}
+	if s.Executed+s.Deduped+s.Errors != s.Runs {
+		t.Fatalf("terminal spans do not cover runs: %+v", s)
+	}
+
+	raw, err := os.ReadFile(prefix + ".trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace map[string]any
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace file invalid: %v", err)
+	}
+	events, err := os.ReadFile(prefix + ".events.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(events), "\n")
+	if lines != s.Events {
+		t.Fatalf("events file has %d lines, summary says %d", lines, s.Events)
 	}
 }

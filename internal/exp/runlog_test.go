@@ -1,0 +1,194 @@
+package exp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lazydram/internal/exp"
+	"lazydram/internal/mc"
+	"lazydram/internal/obs"
+	"lazydram/internal/sim"
+)
+
+// TestRunLogReconciliation drives a concurrent sweep — prefetched cross
+// product, consuming Run calls, duplicate calls, and one failing run — and
+// requires the three views to agree: done + dedup-joined + error spans equal
+// the total Run calls, the registry counters match the event log, and the
+// internal reconciliation passes. Run it with -race and Workers > 1 to
+// exercise the locking.
+func TestRunLogReconciliation(t *testing.T) {
+	reg := obs.NewRegistry()
+	rl := obs.NewRunLog(obs.RunLogOptions{Metrics: reg})
+	apps := []string{"jmein", "LPS"}
+	r := exp.NewRunner(exp.Options{Seed: 1, Apps: apps, Workers: 3, RunLog: rl})
+
+	schemes := []mc.Scheme{mc.Baseline, mc.StaticAMS}
+	r.PrefetchSchemes(apps, schemes...)
+	var wg sync.WaitGroup
+	for _, app := range apps {
+		for _, s := range schemes {
+			// Consume each point twice concurrently on top of the prefetch.
+			for i := 0; i < 2; i++ {
+				app, s := app, s
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := r.Run(app, s, exp.Variant{}); err != nil {
+						t.Error(err)
+					}
+				}()
+			}
+		}
+	}
+	wg.Wait()
+	// One failing run: unknown app.
+	if _, err := r.Run("no-such-app", mc.Baseline, exp.Variant{}); err == nil {
+		t.Fatal("Run accepted an unknown app")
+	}
+	r.Wait()
+
+	s := rl.Summary()
+	// 4 points × (1 prefetch + 2 consumers) + 1 failure = 13 spans; exactly
+	// one call per point executes, the other two join — deterministically,
+	// whatever the interleaving.
+	if s.Runs != 13 {
+		t.Fatalf("runs = %d, want 13", s.Runs)
+	}
+	if s.Executed != 4 || s.Deduped != 8 || s.Errors != 1 {
+		t.Fatalf("executed/deduped/errors = %d/%d/%d, want 4/8/1", s.Executed, s.Deduped, s.Errors)
+	}
+	if got := s.Executed + s.Deduped + s.Errors; got != s.Runs {
+		t.Fatalf("terminal spans %d != runs %d", got, s.Runs)
+	}
+	if err := rl.Reconcile(); err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+
+	// Registry counters must equal the JSONL event counts per state.
+	events := rl.Events()
+	if s.Events != len(events) {
+		t.Fatalf("summary events %d != Events() %d", s.Events, len(events))
+	}
+	counts := map[string]int{}
+	for _, ev := range events {
+		counts[ev.State.String()]++
+	}
+	states := reg.Register("lazysim_sweep_runs_total", "", obs.KindCounter, "state")
+	for state, want := range counts {
+		if got := states.With(state).Value(); got != float64(want) {
+			t.Errorf("runs_total{state=%q} = %g, want %d", state, got, want)
+		}
+	}
+	if counts["done"] != s.Executed || counts["dedup-joined"] != s.Deduped || counts["error"] != s.Errors {
+		t.Errorf("event counts %v disagree with summary %+v", counts, s)
+	}
+
+	// The Chrome trace must parse, name one track per worker, and never
+	// overlap slices on a tid (Reconcile already checks the span view; this
+	// checks the exported view).
+	var tr bytes.Buffer
+	if err := rl.WriteChromeTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	tracks := 0
+	type slice struct{ start, end int64 }
+	perTid := map[int][]slice{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			tracks++
+		}
+		if ev.Ph == "X" {
+			perTid[ev.Tid] = append(perTid[ev.Tid], slice{ev.TS, ev.TS + ev.Dur})
+		}
+	}
+	if tracks != 3+1 { // workers 0..2 plus the dedup-joins lane
+		t.Errorf("thread tracks = %d, want 4", tracks)
+	}
+	for tid, ss := range perTid {
+		if tid < 0 || tid >= 3 {
+			t.Errorf("slice on tid %d outside [0,3)", tid)
+		}
+		for i := 1; i < len(ss); i++ {
+			if ss[i].start < ss[i-1].end {
+				t.Errorf("tid %d slices overlap: %+v then %+v", tid, ss[i-1], ss[i])
+			}
+		}
+	}
+}
+
+// TestRunnerErrorNotCached: a failed singleflight entry must not be memoized
+// forever. The first Run fails (MaxCoreCycles=1 aborts the simulation), a
+// retry re-executes and succeeds, and only then is the key memoized.
+func TestRunnerErrorNotCached(t *testing.T) {
+	rl := obs.NewRunLog(obs.RunLogOptions{})
+	r := exp.NewRunner(exp.Options{Seed: 1, Workers: 2, RunLog: rl})
+	var calls atomic.Int64
+	v := exp.Variant{
+		Tag: "transient",
+		Mutate: func(c *sim.Config) {
+			if calls.Add(1) == 1 {
+				c.MaxCoreCycles = 1 // first execution aborts
+			}
+		},
+	}
+	if _, err := r.Run("jmein", mc.Baseline, v); err == nil {
+		t.Fatal("first Run succeeded, want a transient failure")
+	}
+	if _, err := r.Run("jmein", mc.Baseline, v); err != nil {
+		t.Fatalf("retry after transient error failed: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("retry executed %d simulations, want 2 (error not cached)", n)
+	}
+	if _, err := r.Run("jmein", mc.Baseline, v); err != nil {
+		t.Fatalf("third Run: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("successful result not memoized: %d simulations", n)
+	}
+
+	s := rl.Summary()
+	// The failed execution counts as an error span, not an executed one: one
+	// error, one successful execution, one memoized join.
+	if s.Errors != 1 || s.Executed != 1 || s.Deduped != 1 {
+		t.Fatalf("summary: errors=%d executed=%d deduped=%d, want 1/1/1", s.Errors, s.Executed, s.Deduped)
+	}
+	var errSpan bool
+	for _, sp := range s.Spans {
+		if sp.State == "error" && sp.Err != "" {
+			errSpan = true
+		}
+	}
+	if !errSpan {
+		t.Error("failed run has no error string in its span")
+	}
+	if err := rl.Reconcile(); err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+}
+
+// TestRunnerNoRunLog: the runner still works with observability off — the
+// nil RunLog path is the default and must stay free.
+func TestRunnerNoRunLog(t *testing.T) {
+	r := exp.NewRunner(exp.Options{Seed: 1, Workers: 2})
+	if _, err := r.Run("jmein", mc.Baseline, exp.Variant{}); err != nil {
+		t.Fatal(err)
+	}
+	r.Wait()
+}

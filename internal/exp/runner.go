@@ -13,6 +13,7 @@ import (
 
 	"lazydram/internal/approx"
 	"lazydram/internal/mc"
+	"lazydram/internal/obs"
 	"lazydram/internal/sim"
 	"lazydram/internal/workloads"
 )
@@ -37,6 +38,10 @@ type Options struct {
 	// per-cycle barrier. Bit-identical to the sequential path by
 	// construction; most useful when Workers is small and cores are idle.
 	ShardPartitions bool
+	// RunLog, when non-nil, records a lifecycle span for every Run call
+	// (queueing, worker slot, wall-clock, dedup joins) — see obs.RunLog.
+	// Purely observational: it never changes scheduling or results.
+	RunLog *obs.RunLog
 }
 
 // Runner executes simulations with memoization and caches golden outputs.
@@ -48,20 +53,36 @@ type Options struct {
 // driver's subsequent in-order Run calls mostly just collect results.
 type Runner struct {
 	opts Options
-	sem  chan struct{}
+	// slots carries the worker-slot ids (0..Workers-1); receiving one is the
+	// semaphore acquire, and the received id tags the run's span so the run
+	// log can lay executions out on per-worker trace tracks.
+	slots chan int
 
 	mu     sync.Mutex
 	runs   map[string]*runEntry
 	golden map[string]*goldenEntry
+
+	// prefetches tracks in-flight Prefetch goroutines so Wait (and therefore
+	// run-log summaries) can observe a quiesced pool.
+	prefetches sync.WaitGroup
 }
 
 // runEntry is the singleflight slot for one run key: the first claimant
 // simulates and closes done; everyone else waits on done and shares the
-// memoized result or error.
+// memoized result or error. Entries that end in error are removed from the
+// map before done closes, so a later Run on the same key re-executes instead
+// of replaying a possibly-transient failure (waiters already joined still
+// see the error).
 type runEntry struct {
 	done chan struct{}
 	res  *sim.Result
 	err  error
+
+	// span/prefetched feed the run log: joiners point their dedup-joined
+	// spans at the executing span, and flag whether a prefetch plan (rather
+	// than another consuming call) started the flight they hit.
+	span       *obs.RunSpan
+	prefetched bool
 }
 
 // goldenEntry is the singleflight slot for one app's functional run.
@@ -79,12 +100,17 @@ func NewRunner(opts Options) *Runner {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{
+	opts.RunLog.SetWorkers(opts.Workers)
+	r := &Runner{
 		opts:   opts,
-		sem:    make(chan struct{}, opts.Workers),
+		slots:  make(chan int, opts.Workers),
 		runs:   make(map[string]*runEntry),
 		golden: make(map[string]*goldenEntry),
 	}
+	for i := 0; i < opts.Workers; i++ {
+		r.slots <- i
+	}
+	return r
 }
 
 // Apps returns the application list in evaluation order.
@@ -138,26 +164,46 @@ func runKey(app string, scheme mc.Scheme, v Variant) string {
 // Run simulates app under scheme (memoized, singleflighted) and returns the
 // result with AppError filled in against the golden functional run.
 func (r *Runner) Run(app string, scheme mc.Scheme, v Variant) (*sim.Result, error) {
+	return r.run(app, scheme, v, "call")
+}
+
+// run is Run with the span origin ("call" or "prefetch") made explicit.
+func (r *Runner) run(app string, scheme mc.Scheme, v Variant, origin string) (*sim.Result, error) {
 	key := runKey(app, scheme, v)
+	sp := r.opts.RunLog.Begin(app, scheme.Name(), key, origin)
 	r.mu.Lock()
 	if e, ok := r.runs[key]; ok {
 		r.mu.Unlock()
+		sp.Joined(e.span, e.prefetched)
 		<-e.done
 		return e.res, e.err
 	}
-	e := &runEntry{done: make(chan struct{})}
+	e := &runEntry{done: make(chan struct{}), span: sp, prefetched: origin == "prefetch"}
 	r.runs[key] = e
 	r.mu.Unlock()
 
-	e.res, e.err = r.simulate(app, scheme, v)
+	e.res, e.err = r.simulate(sp, app, scheme, v)
+	if e.err != nil {
+		// Uncache before waking waiters so a retry re-executes. Waiters that
+		// already joined this flight still observe the error; brand-new Run
+		// calls start a fresh entry.
+		r.mu.Lock()
+		if r.runs[key] == e {
+			delete(r.runs, key)
+		}
+		r.mu.Unlock()
+	}
 	close(e.done)
 	return e.res, e.err
 }
 
-// simulate executes one run under the worker semaphore.
-func (r *Runner) simulate(app string, scheme mc.Scheme, v Variant) (*sim.Result, error) {
+// simulate executes one run under the worker semaphore and fully finalizes
+// the span (Done or Fail) before releasing the worker slot, so per-slot
+// spans never overlap in time.
+func (r *Runner) simulate(sp *obs.RunSpan, app string, scheme mc.Scheme, v Variant) (*sim.Result, error) {
 	kern, err := workloads.New(app)
 	if err != nil {
+		sp.Fail(err)
 		return nil, err
 	}
 	cfg := sim.DefaultConfig()
@@ -167,24 +213,49 @@ func (r *Runner) simulate(app string, scheme mc.Scheme, v Variant) (*sim.Result,
 	}
 	if v.Mutate != nil {
 		if v.Tag == "" {
-			return nil, fmt.Errorf("exp: Variant.Mutate requires a Tag for %s", app)
+			err := fmt.Errorf("exp: Variant.Mutate requires a Tag for %s", app)
+			sp.Fail(err)
+			return nil, err
 		}
 		v.Mutate(&cfg)
 	}
 	// Resolve the golden output before taking a worker slot: Golden may wait
 	// on another goroutine's in-flight functional run, which must not happen
 	// while holding a slot that run's caller might be queued for.
+	sp.GoldenWait()
 	golden, err := r.Golden(app)
 	if err != nil {
+		sp.Fail(err)
 		return nil, err
 	}
-	r.sem <- struct{}{}
+	sp.Queued()
+	slot := <-r.slots
+	sp.Running(slot)
+	var before runtime.MemStats
+	logging := r.opts.RunLog != nil
+	if logging {
+		runtime.ReadMemStats(&before)
+	}
 	res, err := sim.Simulate(kern, cfg, scheme, r.opts.Seed)
-	<-r.sem
+	var allocBytes, mallocs uint64
+	if logging {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		// Process-global counters: under concurrency overlapping runs
+		// attribute each other's allocations, so these are profiling
+		// order-of-magnitude figures, not exact per-run costs.
+		allocBytes = after.TotalAlloc - before.TotalAlloc
+		mallocs = after.Mallocs - before.Mallocs
+	}
 	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", app, scheme.Name(), err)
+		err = fmt.Errorf("%s/%s: %w", app, scheme.Name(), err)
+		sp.Fail(err)
+		r.slots <- slot
+		return nil, err
 	}
 	res.Run.AppError = approx.MeanRelativeError(golden, res.Output)
+	sp.Done(res.Run.Mem.Cycles, allocBytes, mallocs)
+	r.slots <- slot
 	return res, nil
 }
 
@@ -195,11 +266,22 @@ func (r *Runner) simulate(app string, scheme mc.Scheme, v Variant) (*sim.Result,
 // Errors surface on those consuming calls (a prefetched point nobody
 // consumes keeps its error memoized but never reports it).
 func (r *Runner) Prefetch(points ...Point) {
+	r.prefetches.Add(len(points))
 	for _, p := range points {
 		p := p
-		go func() { _, _ = r.Run(p.App, p.Scheme, p.Variant) }()
+		go func() {
+			defer r.prefetches.Done()
+			_, _ = r.run(p.App, p.Scheme, p.Variant, "prefetch")
+		}()
 	}
 }
+
+// Wait blocks until every Prefetch goroutine has completed (joined or
+// executed). Callers that snapshot the run log (summary, reconciliation,
+// trace export) should Wait first so the span set is complete; results
+// themselves never need it — consuming Run calls already join in-flight
+// work.
+func (r *Runner) Wait() { r.prefetches.Wait() }
 
 // PrefetchSchemes is shorthand for prefetching the cross product
 // apps x schemes with the default variant.
@@ -231,6 +313,13 @@ func (r *Runner) Golden(app string) ([]float32, error) {
 	kern, err := workloads.New(app)
 	if err != nil {
 		e.err = err
+		// Mirror run's retry semantics: drop the failed entry before waking
+		// waiters so a later Golden call re-resolves instead of replaying.
+		r.mu.Lock()
+		if r.golden[app] == e {
+			delete(r.golden, app)
+		}
+		r.mu.Unlock()
 	} else {
 		e.out = sim.RunFunctional(kern, r.opts.Seed)
 	}

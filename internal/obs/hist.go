@@ -113,6 +113,27 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.max
 }
 
+// HistBucket is one non-empty histogram bucket in serializable form: the
+// [Lo, Hi) value range and its sample count.
+type HistBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in value order (nil when empty).
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for i := range h.buckets {
+		if h.buckets[i] == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		out = append(out, HistBucket{Lo: lo, Hi: hi, Count: h.buckets[i]})
+	}
+	return out
+}
+
 // Merge adds o's samples into h.
 func (h *Histogram) Merge(o *Histogram) {
 	h.count += o.count

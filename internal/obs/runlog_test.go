@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunLogNilSafe: a nil log, and the nil spans it hands out, must accept
+// every call and export empty views — the opt-out path costs nothing.
+func TestRunLogNilSafe(t *testing.T) {
+	var l *RunLog
+	l.SetWorkers(4)
+	sp := l.Begin("app", "scheme", "key", "call")
+	if sp != nil {
+		t.Fatalf("nil log returned a non-nil span")
+	}
+	sp.GoldenWait()
+	sp.Queued()
+	sp.Running(0)
+	sp.Done(1, 2, 3)
+	sp.Fail(nil)
+	sp.Joined(nil, false)
+	if sp.ID() != -1 {
+		t.Errorf("nil span ID = %d, want -1", sp.ID())
+	}
+	l.FinishProgress()
+	if evs := l.Events(); evs != nil {
+		t.Errorf("nil log has events: %v", evs)
+	}
+	if s := l.Summary(); s != nil {
+		t.Errorf("nil log has a summary: %+v", s)
+	}
+	if err := l.Reconcile(); err != nil {
+		t.Errorf("nil log failed reconciliation: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteEventsJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil log JSONL: err=%v len=%d", err, buf.Len())
+	}
+	buf.Reset()
+	if err := l.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil log trace: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-log trace is not valid JSON: %v", err)
+	}
+}
+
+// TestRunLogLifecycle: the scripted sweep must reconcile, and the summary
+// counts must match what was driven.
+func TestRunLogLifecycle(t *testing.T) {
+	l := NewRunLog(RunLogOptions{})
+	l.SetWorkers(2)
+	a := l.Begin("appA", "Baseline", "kA", "prefetch")
+	a.GoldenWait()
+	a.Queued()
+	a.Running(0)
+	b := l.Begin("appB", "Baseline", "kB", "prefetch")
+	b.GoldenWait()
+	b.Queued()
+	b.Running(1)
+	j := l.Begin("appA", "Baseline", "kA", "call")
+	j.Joined(a, true)
+	a.Done(1000, 4096, 12)
+	b.Done(2000, 8192, 24)
+	e := l.Begin("appC", "Baseline", "kC", "call")
+	e.Fail(errFake{})
+
+	s := l.Summary()
+	if s.Runs != 4 || s.Executed != 2 || s.Deduped != 1 || s.Errors != 1 {
+		t.Fatalf("summary counts: %+v", s)
+	}
+	if s.PrefetchHits != 1 {
+		t.Errorf("prefetch hits = %d, want 1", s.PrefetchHits)
+	}
+	if s.SimCycles != 3000 {
+		t.Errorf("sim cycles = %d, want 3000", s.SimCycles)
+	}
+	if s.Timing.AllocBytes != 4096+8192 || s.Timing.Mallocs != 36 {
+		t.Errorf("alloc totals: %+v", s.Timing)
+	}
+	if s.Events != len(l.Events()) {
+		t.Errorf("summary events %d != Events() %d", s.Events, len(l.Events()))
+	}
+	// submitted×4, golden-wait×2, queued×2, running×2, done×2, joined×1, error×1
+	if want := 14; s.Events != want {
+		t.Errorf("events = %d, want %d", s.Events, want)
+	}
+	// The join must point at the executing span and credit it.
+	found := false
+	for _, sp := range s.Spans {
+		if sp.State == "dedup-joined" {
+			found = true
+			if sp.Target != a.ID() || !sp.Prefetch {
+				t.Errorf("join span: %+v", sp)
+			}
+		}
+		if sp.ID == a.ID() && sp.Joins != 1 {
+			t.Errorf("executing span joins = %d, want 1", sp.Joins)
+		}
+	}
+	if !found {
+		t.Error("no dedup-joined span in the summary")
+	}
+	if err := l.Reconcile(); err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "synthetic failure" }
+
+// TestRunLogExports: the JSONL line count equals the event count, every
+// line parses, and the Chrome trace is valid JSON with one named track per
+// worker whose slices never overlap per tid.
+func TestRunLogExports(t *testing.T) {
+	l := NewRunLog(RunLogOptions{})
+	l.SetWorkers(2)
+	a := l.Begin("appA", "Baseline", "kA", "prefetch")
+	a.GoldenWait()
+	a.Queued()
+	a.Running(0)
+	a.Done(500, 0, 0)
+	b := l.Begin("appA", "Static-AMS", "kB", "prefetch")
+	b.GoldenWait()
+	b.Queued()
+	b.Running(0) // same worker, strictly after a finished
+	j := l.Begin("appA", "Static-AMS", "kB", "call")
+	j.Joined(b, true)
+	b.Done(700, 0, 0)
+
+	var jl bytes.Buffer
+	if err := l.WriteEventsJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	var lines int
+	sc := bufio.NewScanner(&jl)
+	for sc.Scan() {
+		lines++
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("JSONL line %d invalid: %v", lines, err)
+		}
+		for _, k := range []string{"ts_us", "span", "state", "app", "scheme"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("JSONL line %d missing %q: %s", lines, k, sc.Text())
+			}
+		}
+	}
+	if got := len(l.Events()); lines != got {
+		t.Fatalf("JSONL lines %d != events %d", lines, got)
+	}
+
+	var tr bytes.Buffer
+	if err := l.WriteChromeTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace invalid: %v\n%s", err, tr.String())
+	}
+	tracks := map[string]bool{}
+	type slice struct{ start, end int64 }
+	perTid := map[int][]slice{}
+	var slices, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				tracks[ev.Args["name"].(string)] = true
+			}
+		case "X":
+			slices++
+			perTid[ev.Tid] = append(perTid[ev.Tid], slice{ev.TS, ev.TS + ev.Dur})
+		case "i":
+			instants++
+		}
+	}
+	for _, want := range []string{"worker 0", "worker 1", "dedup joins"} {
+		if !tracks[want] {
+			t.Errorf("trace missing track %q (have %v)", want, tracks)
+		}
+	}
+	if slices != 2 || instants != 1 {
+		t.Errorf("slices=%d instants=%d, want 2 and 1", slices, instants)
+	}
+	for tid, ss := range perTid {
+		for i := 1; i < len(ss); i++ {
+			if ss[i].start < ss[i-1].end {
+				t.Errorf("tid %d slices overlap: %+v", tid, ss)
+			}
+		}
+	}
+}
+
+// TestRunLogMetrics: the live registry families must agree with the event
+// log per state, and the busy/queue gauges must drain back to zero.
+func TestRunLogMetrics(t *testing.T) {
+	reg := NewRegistry()
+	l := NewRunLog(RunLogOptions{Metrics: reg})
+	l.SetWorkers(1)
+	a := l.Begin("appA", "Baseline", "kA", "call")
+	a.GoldenWait()
+	a.Queued()
+	a.Running(0)
+	a.Done(100, 0, 0)
+	j := l.Begin("appA", "Baseline", "kA", "call")
+	j.Joined(a, false)
+
+	states := reg.Register("lazysim_sweep_runs_total", "", KindCounter, "state")
+	counts := map[string]float64{}
+	for _, ev := range l.Events() {
+		counts[ev.State.String()]++
+	}
+	for state, want := range counts {
+		if got := states.With(state).Value(); got != want {
+			t.Errorf("runs_total{state=%q} = %g, want %g", state, got, want)
+		}
+	}
+	if got := reg.Gauge("lazysim_sweep_workers_busy", "").Value(); got != 0 {
+		t.Errorf("workers_busy = %g after sweep end", got)
+	}
+	if got := reg.Gauge("lazysim_sweep_queue_depth", "").Value(); got != 0 {
+		t.Errorf("queue_depth = %g after sweep end", got)
+	}
+	appSec := reg.Register("lazysim_sweep_run_seconds", "", KindGauge, "app")
+	if got := appSec.With("appA").Value(); got < 0 {
+		t.Errorf("run_seconds{app=appA} = %g", got)
+	}
+	if err := l.Reconcile(); err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+}
+
+// TestRunLogProgress: the progress line rewrites in place and FinishProgress
+// terminates it.
+func TestRunLogProgress(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewRunLog(RunLogOptions{Progress: &buf})
+	l.SetWorkers(1)
+	a := l.Begin("appA", "Baseline", "kA", "call")
+	a.GoldenWait()
+	a.Queued()
+	a.Running(0)
+	a.Done(1, 0, 0)
+	l.FinishProgress()
+	out := buf.String()
+	if !strings.Contains(out, "\r[sweep] 1/1 done") {
+		t.Errorf("progress output: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("FinishProgress did not terminate the line: %q", out)
+	}
+}
+
+// TestRunLogReconcileCatches: a span left non-terminal must fail
+// reconciliation — the CI gate depends on this being a real check.
+func TestRunLogReconcileCatches(t *testing.T) {
+	l := NewRunLog(RunLogOptions{})
+	l.SetWorkers(1)
+	sp := l.Begin("appA", "Baseline", "kA", "call")
+	sp.Queued()
+	if err := l.Reconcile(); err == nil {
+		t.Fatal("reconcile accepted a non-terminal span")
+	}
+	sp.Running(0)
+	sp.Done(1, 0, 0)
+	if err := l.Reconcile(); err != nil {
+		t.Fatalf("reconcile after completion: %v", err)
+	}
+}
+
+// TestHistogramBuckets: non-empty buckets come back in value order with
+// their [lo, hi) bounds.
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	if got := h.Buckets(); got != nil {
+		t.Fatalf("empty histogram has buckets: %v", got)
+	}
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(1000)
+	bs := h.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %+v, want 2", bs)
+	}
+	if bs[0].Lo != 3 || bs[0].Hi != 4 || bs[0].Count != 2 {
+		t.Errorf("exact bucket: %+v", bs[0])
+	}
+	if !(bs[1].Lo <= 1000 && 1000 < bs[1].Hi) || bs[1].Count != 1 {
+		t.Errorf("log-linear bucket: %+v", bs[1])
+	}
+	var total uint64
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Errorf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+}
