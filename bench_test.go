@@ -322,3 +322,13 @@ func BenchmarkTelemetryOn(b *testing.B) {
 func BenchmarkTelemetryAuditQuality(b *testing.B) {
 	benchTelemetry(b, obs.Options{AuditCapacity: 1 << 14, Quality: true})
 }
+
+// BenchmarkDigestOff / BenchmarkDigestOn bracket the state-digest flight
+// recorder: On walks every architectural component each DefaultDigestEvery
+// mem cycles and folds the rolling traffic digest into every fill and
+// writeback, and must stay within the same 2% budget of Off.
+func BenchmarkDigestOff(b *testing.B) { benchTelemetry(b, obs.Options{}) }
+
+func BenchmarkDigestOn(b *testing.B) {
+	benchTelemetry(b, obs.Options{DigestEvery: obs.DefaultDigestEvery})
+}

@@ -33,16 +33,18 @@ import (
 	"strings"
 	"time"
 
+	"lazydram/internal/buildinfo"
 	"lazydram/internal/exp"
 	"lazydram/internal/obs"
 )
 
 func main() {
 	var (
-		out  = flag.String("out", "results", "output directory")
-		apps = flag.String("apps", "", "comma-separated app subset (default: all)")
-		seed = flag.Int64("seed", 1, "workload input seed")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		out     = flag.String("out", "results", "output directory")
+		apps    = flag.String("apps", "", "comma-separated app subset (default: all)")
+		seed    = flag.Int64("seed", 1, "workload input seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		version = flag.Bool("version", false, "print build provenance and exit")
 
 		workers = flag.Int("workers", 0, "concurrent simulations (0: GOMAXPROCS); results are identical for any value")
 		shard   = flag.Bool("shard", false, "also shard each simulation's partition ticking (bit-identical; see DESIGN.md)")
@@ -55,9 +57,21 @@ func main() {
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Get().String())
+		return
+	}
+
 	if *pprofAddr != "" {
+		// Bind before the batch starts so a bad address fails fast instead of
+		// silently profiling nothing.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pprof:", err)
+			os.Exit(1)
+		}
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := http.Serve(ln, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "pprof:", err)
 			}
 		}()
@@ -186,7 +200,10 @@ func writeRunLog(rl *obs.RunLog, sum *obs.SweepSummary, prefix string) error {
 		return err
 	}
 	defer sf.Close()
-	return json.NewEncoder(sf).Encode(map[string]any{"sweep": sum})
+	return json.NewEncoder(sf).Encode(map[string]any{
+		"meta":  map[string]any{"build": buildinfo.Get()},
+		"sweep": sum,
+	})
 }
 
 // serveMetrics starts an HTTP server exposing the registry: Prometheus text

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets tests re-exec this binary as the real CLI: with
+// EXPERIMENTS_BE_MAIN set, the process runs main() on its own arguments
+// instead of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("EXPERIMENTS_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func occupyPort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// TestObservabilityBindFailuresExitNonzero asserts that an unbindable
+// -metrics-addr or -pprof address aborts the batch with exit code 1 before
+// any experiment runs. The trailing bogus experiment id would exit 2 if the
+// process ever got past observability setup, so the test cannot accidentally
+// launch the full suite.
+func TestObservabilityBindFailuresExitNonzero(t *testing.T) {
+	busy := occupyPort(t)
+	dir := t.TempDir()
+	for _, tc := range [][]string{
+		{"-out", dir, "-metrics-addr", busy, "no-such-experiment"},
+		{"-out", dir, "-pprof", busy, "no-such-experiment"},
+	} {
+		cmd := exec.Command(os.Args[0], tc...)
+		cmd.Env = append(os.Environ(), "EXPERIMENTS_BE_MAIN=1")
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Errorf("args %v: err = %v (output %q), want exit code 1", tc, err, out)
+		}
+	}
+}
+
+// TestVersionFlag asserts -version prints provenance and exits 0.
+func TestVersionFlag(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-version")
+	cmd.Env = append(os.Environ(), "EXPERIMENTS_BE_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("-version: %v (output %q)", err, out)
+	}
+	if !strings.Contains(string(out), "go") {
+		t.Errorf("-version output %q, want Go version", out)
+	}
+}

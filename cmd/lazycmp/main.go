@@ -43,6 +43,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"lazydram/internal/buildinfo"
 )
 
 func main() {
@@ -60,9 +62,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut    = fs.String("json", "", `write the machine-readable delta document here ("-" for stdout)`)
 		reportOnly = fs.Bool("report-only", false, "never fail: print and emit deltas, exit 0")
 		failOnNew  = fs.Bool("fail-on-new", false, "fail when a metric exists in only one document")
+		version    = fs.Bool("version", false, "print build provenance and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Get().String())
+		return 0
 	}
 	if fs.NArg() != 2 {
 		fmt.Fprintln(stderr, "usage: lazycmp [flags] baseline.json candidate.json")
@@ -187,6 +194,10 @@ func flatten(doc map[string]any) (out map[string]float64, skipped []string) {
 			// derived top-N whose membership may flap on ties.
 		case "app", "scheme":
 			// run identity, not metrics
+		case "meta":
+			// build provenance (meta.build revision/dirty/Go version), not a
+			// result: skipped so baselines recorded on different commits or
+			// toolchains don't churn the gate.
 		case "runs":
 			// lazysim -sweep -json: one row per run, keyed by its identity.
 			arr, _ := v.([]any)
@@ -280,6 +291,18 @@ func flatten(doc map[string]any) (out map[string]float64, skipped []string) {
 			}
 			if qm, ok := m["quality"].(map[string]any); ok {
 				putQuality(put, "quality.", qm)
+			}
+			if dm, ok := m["digest"].(map[string]any); ok {
+				// The state-digest chain summary: the hi/lo uint32 halves are
+				// exact in float64, so an exact-match gate on them IS a
+				// bit-identity gate on the full 64-bit digests. The hex-string
+				// forms ("0x...") fail the numeric parse and stay out.
+				for _, f := range []string{"every", "intervals", "dropped",
+					"final_hi", "final_lo", "chain_hi", "chain_lo"} {
+					if x, ok := dm[f]; ok {
+						put("digest."+f, x)
+					}
+				}
 			}
 			if fm, ok := m["fault"].(map[string]any); ok {
 				for _, f := range []string{"seed", "bus_ber", "weak_density",

@@ -11,6 +11,7 @@ import (
 )
 
 const sampleReport = `{
+	"meta": {"build": {"go_version": "go1.23.0", "revision": "abc123", "dirty": true}},
 	"app": "SCP", "scheme": "Dyn-DMS+Dyn-AMS", "seed": 1,
 	"ipc": 2.0153, "bwutil": 0.42, "activations": 31549,
 	"row_energy_nj": 709852.5, "wall_ms": 987.6,
@@ -39,6 +40,12 @@ const sampleReport = `{
 			"mean_rel_error": 0.01, "rel_p50": 0.001, "rel_p99": 0.2,
 			"max_rel_error": 1.5,
 			"worst": [{"addr": 4096, "mean_rel": 1.5}]
+		},
+		"digest": {
+			"every": 4096, "intervals": 25,
+			"final": "0x00000001000186a0", "chain": "0xdeadbeef00000001",
+			"final_hi": 1, "final_lo": 100000,
+			"chain_hi": 3735928559, "chain_lo": 1
 		}
 	}
 }`
@@ -70,13 +77,22 @@ func TestFlatten(t *testing.T) {
 		"quality.lines":          25,
 		"quality.mean_rel_error": 0.01,
 		"quality.rel_p99":        0.2,
+		"digest.every":           4096,
+		"digest.intervals":       25,
+		"digest.final_hi":        1,
+		"digest.final_lo":        100000,
+		"digest.chain_hi":        3735928559,
+		"digest.chain_lo":        1,
 	} {
 		if got, ok := m[name]; !ok || got != want {
 			t.Errorf("flatten[%q] = %v (present=%v), want %v", name, got, ok, want)
 		}
 	}
-	// Identity, noise, and derived views must stay out of the gate.
-	for _, name := range []string{"seed", "wall_ms", "app", "scheme", "hottest_banks"} {
+	// Identity, noise, provenance, and derived views must stay out of the
+	// gate; the hex digest strings fail the numeric parse and stay out too.
+	for _, name := range []string{"seed", "wall_ms", "app", "scheme", "hottest_banks",
+		"meta.build.go_version", "meta.build.revision", "meta.build.dirty",
+		"digest.final", "digest.chain"} {
 		if _, ok := m[name]; ok {
 			t.Errorf("flatten leaked %q into the comparable set", name)
 		}

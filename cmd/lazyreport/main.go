@@ -21,6 +21,8 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"lazydram/internal/buildinfo"
 )
 
 func main() {
@@ -47,6 +49,9 @@ func run(args []string, stderr io.Writer) int {
 			out = strings.TrimPrefix(a, "-o=")
 		case a == "-h" || a == "-help" || a == "--help":
 			usage(stderr)
+			return 0
+		case a == "-version" || a == "--version":
+			fmt.Fprintln(stderr, buildinfo.Get().String())
 			return 0
 		case strings.HasPrefix(a, "-"):
 			fmt.Fprintf(stderr, "lazyreport: unknown flag %s\n", a)

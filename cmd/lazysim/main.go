@@ -74,6 +74,7 @@ import (
 	"time"
 
 	"lazydram/internal/approx"
+	"lazydram/internal/buildinfo"
 	"lazydram/internal/energy"
 	"lazydram/internal/exp"
 	"lazydram/internal/mc"
@@ -90,8 +91,9 @@ func main() {
 		seed   = flag.Int64("seed", 1, "input RNG seed")
 		queue  = flag.Int("queue", 128, "pending queue size")
 		delay  = flag.Int("delay", 128, "static DMS delay (cycles)")
-		thrbl  = flag.Int("thrbl", 8, "static AMS Th_RBL")
-		list   = flag.Bool("list", false, "list applications and exit")
+		thrbl   = flag.Int("thrbl", 8, "static AMS Th_RBL")
+		list    = flag.Bool("list", false, "list applications and exit")
+		version = flag.Bool("version", false, "print build provenance and exit")
 
 		shard        = flag.Bool("shard", false, "tick memory partitions on a worker pool (bit-identical to sequential)")
 		shardWorkers = flag.Int("shard-workers", 0, "worker-pool size for -shard (0: GOMAXPROCS, capped at partition count)")
@@ -104,6 +106,10 @@ func main() {
 		traceOut = flag.String("trace", "", "write the DRAM command trace to this file (.jsonl for JSONL, else Chrome trace_event JSON)")
 		traceCap = flag.Int("trace-cap", 1<<18, "DRAM command trace ring capacity (commands retained)")
 		golden   = flag.Bool("golden", false, "force the golden functional run even for exact schemes")
+
+		digestEvery = flag.Uint64("digest-every", 0, "sample the state-digest flight recorder every N memory cycles (0 disables)")
+		digestCap   = flag.Int("digest-cap", 0, "digest record ring capacity (0: default)")
+		digestLog   = flag.String("digest-log", "", "write the digest record stream as JSONL to this file (implies -digest-every at its default when unset)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics (Prometheus) and /vars (expvar JSON) on this address during the run")
 		topBanks    = flag.Int("top-banks", 8, "number of hottest banks in the -json summary")
@@ -124,6 +130,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Get().String())
+		return
+	}
+
 	if *list {
 		for _, n := range workloads.Names() {
 			fmt.Printf("%-14s group %d\n", n, workloads.Group(n))
@@ -132,8 +143,15 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
+		// Bind before the run starts so a bad address fails fast instead of
+		// silently profiling nothing.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pprof:", err)
+			os.Exit(1)
+		}
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := http.Serve(ln, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "pprof:", err)
 			}
 		}()
@@ -203,6 +221,11 @@ func main() {
 		cfg.Obs.AuditCapacity = *auditCap
 	}
 	cfg.Obs.Quality = *quality
+	if *digestLog != "" && *digestEvery == 0 {
+		*digestEvery = obs.DefaultDigestEvery
+	}
+	cfg.Obs.DigestEvery = *digestEvery
+	cfg.Obs.DigestCapacity = *digestCap
 	if *faultOn {
 		cfg.Fault.Enabled = true
 		cfg.Fault.BusBER = *faultBER
@@ -250,6 +273,12 @@ func main() {
 	}
 	if *auditLog != "" && res.Audit != nil {
 		if err := writeAuditLog(res.Audit, *auditLog); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *digestLog != "" && res.Digest != nil {
+		if err := writeDigestLog(res.Digest, *digestLog); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -312,6 +341,15 @@ func serveMetrics(addr string, reg *obs.Registry) (*http.Server, string, error) 
 	return srv, ln.Addr().String(), nil
 }
 
+func writeDigestLog(d *obs.DigestLog, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.WriteJSONL(f)
+}
+
 func writeAuditLog(a *obs.AuditLog, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -333,9 +371,16 @@ func writeTrace(tr *obs.CmdTrace, path string) error {
 	return tr.WriteChromeTrace(f)
 }
 
+// metaBlock carries document provenance (skipped by lazycmp, so baselines
+// recorded on different commits don't churn).
+type metaBlock struct {
+	Build buildinfo.Build `json:"build"`
+}
+
 // report is the machine-readable run summary emitted by -json: the same
 // totals as the text stat block, plus the telemetry digest.
 type report struct {
+	Meta         metaBlock `json:"meta"`
 	App          string  `json:"app"`
 	Scheme       string  `json:"scheme"`
 	Seed         int64   `json:"seed"`
@@ -389,6 +434,7 @@ func buildReport(r *stats.Run, res *sim.Result, seed int64, wall time.Duration, 
 		occ = float64(r.Mem.QueueOccSum) / float64(r.Mem.Cycles*uint64(ch))
 	}
 	return report{
+		Meta:         metaBlock{Build: buildinfo.Get()},
 		App:          r.App,
 		Scheme:       r.Scheme,
 		Seed:         seed,
@@ -461,6 +507,7 @@ type sweepRow struct {
 // sweepDoc is the -sweep -json document: per-run rows in declaration order
 // plus the run-lifecycle summary block.
 type sweepDoc struct {
+	Meta  metaBlock         `json:"meta"`
 	Seed  int64             `json:"seed"`
 	Runs  []sweepRow        `json:"runs"`
 	Sweep *obs.SweepSummary `json:"sweep,omitempty"`
@@ -566,7 +613,7 @@ func runSweep(w io.Writer, appList, schemeList string, o sweepOptions) error {
 	r.Wait()
 	rl.FinishProgress()
 	if o.JSON {
-		if err := json.NewEncoder(w).Encode(sweepDoc{Seed: o.Seed, Runs: rows, Sweep: rl.Summary()}); err != nil {
+		if err := json.NewEncoder(w).Encode(sweepDoc{Meta: metaBlock{Build: buildinfo.Get()}, Seed: o.Seed, Runs: rows, Sweep: rl.Summary()}); err != nil {
 			return err
 		}
 	} else {
@@ -582,29 +629,5 @@ func runSweep(w io.Writer, appList, schemeList string, o sweepOptions) error {
 
 // ParseScheme maps a scheme name to its configuration.
 func ParseScheme(name string, delay, thrbl int) (mc.Scheme, error) {
-	switch strings.ToLower(name) {
-	case "baseline", "base":
-		return mc.Baseline, nil
-	case "static-dms", "dms":
-		s := mc.StaticDMS
-		s.StaticDelay = delay
-		return s, nil
-	case "dyn-dms":
-		return mc.DynDMS, nil
-	case "static-ams", "ams":
-		s := mc.StaticAMS
-		s.StaticThRBL = thrbl
-		return s, nil
-	case "dyn-ams":
-		return mc.DynAMS, nil
-	case "static-both", "both":
-		s := mc.StaticBoth
-		s.StaticDelay = delay
-		s.StaticThRBL = thrbl
-		return s, nil
-	case "dyn-both":
-		return mc.DynBoth, nil
-	default:
-		return mc.Scheme{}, fmt.Errorf("unknown scheme %q", name)
-	}
+	return mc.ParseScheme(name, delay, thrbl)
 }

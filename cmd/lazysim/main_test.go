@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -16,6 +18,48 @@ import (
 	"lazydram/internal/sim"
 	"lazydram/internal/workloads"
 )
+
+// TestMain lets tests re-exec this binary as the real CLI: with
+// LAZYSIM_BE_MAIN set, the process runs main() on its own arguments instead
+// of the test suite, so observability-misconfiguration exits can be asserted.
+func TestMain(m *testing.M) {
+	if os.Getenv("LAZYSIM_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// occupyPort binds an ephemeral port and keeps it open so a second listen on
+// the same address must fail.
+func occupyPort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// TestObservabilityBindFailuresExitNonzero asserts that a -metrics-addr or
+// -pprof address that cannot be bound aborts the process with exit code 1
+// before any simulation starts.
+func TestObservabilityBindFailuresExitNonzero(t *testing.T) {
+	busy := occupyPort(t)
+	for _, tc := range [][]string{
+		{"-app", "SCP", "-metrics-addr", busy},
+		{"-app", "SCP", "-pprof", busy},
+	} {
+		cmd := exec.Command(os.Args[0], tc...)
+		cmd.Env = append(os.Environ(), "LAZYSIM_BE_MAIN=1")
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Errorf("args %v: err = %v (output %q), want exit code 1", tc, err, out)
+		}
+	}
+}
 
 // TestMetricsServerEndToEnd drives the same path as -metrics-addr: bind an
 // ephemeral port, run a real simulation publishing into the registry, and

@@ -1,0 +1,61 @@
+// Package buildinfo reads the binary's embedded Go build information so every
+// CLI can stamp provenance (VCS revision, dirty flag, Go version) into its
+// artifacts and answer -version.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Build is the provenance block serialized as meta.build in -json documents.
+type Build struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit the binary was built from (empty when the
+	// build ran outside a checkout, e.g. plain `go test` in a tarball).
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes in the build's working tree.
+	Dirty bool `json:"dirty,omitempty"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+}
+
+// Get reads the running binary's build info. It never fails: missing fields
+// are left zero.
+func Get() Build {
+	var b Build
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = info.GoVersion
+	b.Module = info.Main.Path
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the one-line -version output.
+func (b Build) String() string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Dirty {
+		rev += "-dirty"
+	}
+	mod := b.Module
+	if mod == "" {
+		mod = "lazydram"
+	}
+	return fmt.Sprintf("%s %s (%s)", mod, rev, b.GoVersion)
+}

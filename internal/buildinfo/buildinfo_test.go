@@ -1,0 +1,34 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetReportsGoVersion(t *testing.T) {
+	b := Get()
+	// The Go version is always present in a `go test` binary; VCS fields
+	// depend on whether the build ran inside a checkout.
+	if b.GoVersion == "" {
+		t.Fatal("GoVersion empty")
+	}
+	if !strings.HasPrefix(b.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want go-prefixed", b.GoVersion)
+	}
+}
+
+func TestStringIsOneLine(t *testing.T) {
+	for _, b := range []Build{
+		{},
+		{GoVersion: "go1.23.0", Revision: "0123456789abcdef0123", Dirty: true, Module: "lazydram"},
+	} {
+		s := b.String()
+		if s == "" || strings.ContainsRune(s, '\n') {
+			t.Errorf("String() = %q, want non-empty single line", s)
+		}
+	}
+	long := Build{GoVersion: "go1.23.0", Revision: "0123456789abcdef0123", Module: "lazydram"}
+	if got := long.String(); !strings.Contains(got, "0123456789ab") || strings.Contains(got, "0123456789abc") {
+		t.Errorf("String() = %q, want revision truncated to 12 chars", got)
+	}
+}

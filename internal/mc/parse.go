@@ -1,0 +1,36 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseScheme maps a scheme name to its configuration; delay and thrbl fill
+// the static variants' parameters. Shared by every CLI that takes -scheme.
+func ParseScheme(name string, delay, thrbl int) (Scheme, error) {
+	switch strings.ToLower(name) {
+	case "baseline", "base":
+		return Baseline, nil
+	case "static-dms", "dms":
+		s := StaticDMS
+		s.StaticDelay = delay
+		return s, nil
+	case "dyn-dms":
+		return DynDMS, nil
+	case "static-ams", "ams":
+		s := StaticAMS
+		s.StaticThRBL = thrbl
+		return s, nil
+	case "dyn-ams":
+		return DynAMS, nil
+	case "static-both", "both":
+		s := StaticBoth
+		s.StaticDelay = delay
+		s.StaticThRBL = thrbl
+		return s, nil
+	case "dyn-both":
+		return DynBoth, nil
+	default:
+		return Scheme{}, fmt.Errorf("unknown scheme %q", name)
+	}
+}

@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file is the state-digest flight recorder: a deterministic hash over
+// the simulator's live architectural state, folded hierarchically
+// (bank → channel → partition → machine) and sampled on a fixed memory-cycle
+// interval into a bounded record stream. Two executions that are bit-identical
+// produce identical digest streams; the first record where two streams
+// disagree brackets the first divergent interval, which cmd/lazydiverge then
+// narrows to an exact cycle by re-running both simulations in lockstep.
+//
+// The hash is a word-at-a-time FNV-1a variant: each 64-bit value is folded as
+// h = (h ^ v) * prime. It is not cryptographic — it only needs to be
+// deterministic, order-sensitive, and cheap enough to run inside the <2%
+// digest-sampling overhead budget.
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// DefaultDigestEvery is the sampling interval, in memory cycles, that the
+// overhead budget (BenchmarkDigestOff/On) is validated at.
+const DefaultDigestEvery = 4096
+
+// DefaultDigestCapacity bounds the digest record ring when
+// Options.DigestCapacity is 0. At DefaultDigestEvery it retains the full
+// stream of any realistic run; if the ring still wraps, the oldest records
+// are dropped and counted.
+const DefaultDigestCapacity = 1 << 16
+
+// FoldU64 folds one 64-bit value into a rolling digest h. Use FoldSeed as the
+// initial value. The free-function form exists for incremental digests kept
+// as plain uint64 fields (e.g. the partitions' traffic digests).
+func FoldU64(h, v uint64) uint64 { return (h ^ v) * fnvPrime64 }
+
+// FoldBytes folds b into a rolling digest h, 8 bytes at a time
+// (little-endian), with the tail zero-padded and the length folded first so
+// different-length inputs cannot alias.
+func FoldBytes(h uint64, b []byte) uint64 {
+	h = FoldU64(h, uint64(len(b)))
+	for len(b) >= 8 {
+		h = FoldU64(h, binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail [8]byte
+		copy(tail[:], b)
+		h = FoldU64(h, binary.LittleEndian.Uint64(tail[:]))
+	}
+	return h
+}
+
+// FoldSeed returns the initial value for a rolling FoldU64/FoldBytes digest.
+func FoldSeed() uint64 { return fnvOffset64 }
+
+// Hasher accumulates a 64-bit state digest. The zero value is NOT ready;
+// use NewHasher (or Reset) so every digest starts from the same seed.
+// All methods are allocation-free.
+type Hasher struct{ h uint64 }
+
+// NewHasher returns a hasher seeded with the FNV offset basis.
+func NewHasher() *Hasher { return &Hasher{h: fnvOffset64} }
+
+// Reset re-seeds the hasher so it can be reused without allocating.
+func (h *Hasher) Reset() { h.h = fnvOffset64 }
+
+// U64 folds one unsigned 64-bit value.
+func (h *Hasher) U64(v uint64) { h.h = FoldU64(h.h, v) }
+
+// I64 folds one signed 64-bit value.
+func (h *Hasher) I64(v int64) { h.h = FoldU64(h.h, uint64(v)) }
+
+// Int folds one int.
+func (h *Hasher) Int(v int) { h.h = FoldU64(h.h, uint64(int64(v))) }
+
+// Bool folds one bool.
+func (h *Hasher) Bool(v bool) {
+	if v {
+		h.h = FoldU64(h.h, 1)
+	} else {
+		h.h = FoldU64(h.h, 0)
+	}
+}
+
+// F64 folds one float64 by bit pattern.
+func (h *Hasher) F64(v float64) { h.h = FoldU64(h.h, math.Float64bits(v)) }
+
+// Bytes folds a byte slice (length-prefixed; see FoldBytes).
+func (h *Hasher) Bytes(b []byte) { h.h = FoldBytes(h.h, b) }
+
+// Sum returns the digest accumulated so far.
+func (h *Hasher) Sum() uint64 { return h.h }
+
+// PartDigest is one memory partition's component digests at a sample point.
+// Every field is an independent sub-digest so a divergence can be attributed
+// to a component without re-hashing.
+type PartDigest struct {
+	// Part is the partition (channel) index.
+	Part int `json:"part"`
+	// DRAM covers the channel's bank timing/row state plus channel-level
+	// constraints (tRRD/turnaround/refresh scoreboards).
+	DRAM uint64 `json:"dram"`
+	// MC covers the controller's pending queue (per-bank FIFO order, pending
+	// entries only), live/ID counters, and the DMS/AMS unit state.
+	MC uint64 `json:"mc"`
+	// L2 covers the slice's tag/flag/LRU state and the L2 MSHR file. Line
+	// data bytes are deliberately NOT hashed (see Traffic).
+	L2 uint64 `json:"l2"`
+	// Heaps covers the partition-local progress state: the write-back queue,
+	// the done/hit heaps, pending replies, and the VP counters.
+	Heaps uint64 `json:"heaps"`
+	// Traffic is the partition's rolling data digest: every fill's returned
+	// bytes (post-fault-corruption) and every write-back's bytes are folded
+	// in as they happen. It is cumulative, so a single corrupted fill
+	// perturbs every subsequent sample — data divergence stays visible even
+	// after the corrupted line itself is evicted.
+	Traffic uint64 `json:"traffic"`
+	// Stats covers the partition's counter block (stats.Mem).
+	Stats uint64 `json:"stats"`
+}
+
+// Sum folds the partition's component digests into one value.
+func (pd *PartDigest) Sum() uint64 {
+	h := NewHasher()
+	h.Int(pd.Part)
+	h.U64(pd.DRAM)
+	h.U64(pd.MC)
+	h.U64(pd.L2)
+	h.U64(pd.Heaps)
+	h.U64(pd.Traffic)
+	h.U64(pd.Stats)
+	return h.Sum()
+}
+
+// DigestRecord is one sample of the machine digest hierarchy.
+type DigestRecord struct {
+	// Cycle is the memory cycle the sample was taken at.
+	Cycle uint64 `json:"cycle"`
+	// Machine is the top-level fold of every component digest below.
+	Machine uint64 `json:"machine"`
+	// Chain is the rolling fold of every Machine digest up to and including
+	// this record — a single value summarizing the whole stream so far.
+	Chain uint64 `json:"chain"`
+	// Cores folds every SM's digest plus the GPU-level retirement counters.
+	Cores uint64 `json:"cores"`
+	// Icnt folds both crossbars' in-flight packets.
+	Icnt uint64 `json:"icnt"`
+	// Parts holds the per-partition component digests, in partition order.
+	Parts []PartDigest `json:"parts"`
+}
+
+// ComponentDigest labels one node of the digest hierarchy with its path
+// (e.g. "partition[3].dram.bank[7]"), for divergence attribution.
+type ComponentDigest struct {
+	Path   string `json:"path"`
+	Digest uint64 `json:"digest"`
+}
+
+// DigestLog is the bounded stream of digest records for one run. It is
+// written only from the simulation goroutine at barrier-quiesced points; it
+// is not safe for concurrent use.
+type DigestLog struct {
+	every   uint64
+	recs    []DigestRecord
+	cap     int
+	start   int // ring: index of the oldest record when full
+	full    bool
+	samples uint64
+	dropped uint64
+	chain   uint64
+	final   uint64
+}
+
+// NewDigestLog creates a digest log sampling every `every` memory cycles,
+// retaining at most capacity records (0 picks DefaultDigestCapacity).
+func NewDigestLog(every uint64, capacity int) *DigestLog {
+	if every == 0 {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = DefaultDigestCapacity
+	}
+	return &DigestLog{every: every, cap: capacity, chain: fnvOffset64}
+}
+
+// Every returns the sampling interval in memory cycles (0 for a nil log).
+func (l *DigestLog) Every() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.every
+}
+
+// Record appends one sample. The record's Chain field is filled in from the
+// log's rolling chain; when the ring is full the oldest record is dropped.
+func (l *DigestLog) Record(rec DigestRecord) {
+	if l == nil {
+		return
+	}
+	l.samples++
+	l.chain = FoldU64(l.chain, rec.Machine)
+	rec.Chain = l.chain
+	if !l.full && len(l.recs) < l.cap {
+		l.recs = append(l.recs, rec)
+		if len(l.recs) == l.cap {
+			l.full = true
+		}
+		return
+	}
+	l.full = true
+	l.dropped++
+	l.recs[l.start] = rec
+	l.start = (l.start + 1) % l.cap
+}
+
+// Records returns the retained records, oldest first (a copy).
+func (l *DigestLog) Records() []DigestRecord {
+	if l == nil || len(l.recs) == 0 {
+		return nil
+	}
+	out := make([]DigestRecord, 0, len(l.recs))
+	out = append(out, l.recs[l.start:]...)
+	out = append(out, l.recs[:l.start]...)
+	return out
+}
+
+// Intervals returns how many samples were recorded (including dropped ones).
+func (l *DigestLog) Intervals() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.samples
+}
+
+// Dropped returns how many records the bounded ring overwrote.
+func (l *DigestLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Chain returns the rolling chain digest over every recorded machine digest.
+func (l *DigestLog) Chain() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.chain
+}
+
+// Finalize stores the end-of-run machine digest, computed at collect time
+// before the end-of-run drains and flushes mutate the state.
+func (l *DigestLog) Finalize(machine uint64) {
+	if l == nil {
+		return
+	}
+	l.final = machine
+}
+
+// Final returns the digest stored by Finalize.
+func (l *DigestLog) Final() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.final
+}
+
+// Summary returns the serializable chain summary (nil for a nil log).
+func (l *DigestLog) Summary() *DigestSummary {
+	if l == nil {
+		return nil
+	}
+	return &DigestSummary{
+		Every:     l.every,
+		Intervals: l.samples,
+		Dropped:   l.dropped,
+		Final:     hex64(l.final),
+		Chain:     hex64(l.chain),
+		FinalHi:   uint32(l.final >> 32),
+		FinalLo:   uint32(l.final),
+		ChainHi:   uint32(l.chain >> 32),
+		ChainLo:   uint32(l.chain),
+	}
+}
+
+// WriteJSONL writes the retained records as one JSON object per line,
+// oldest first. cmd/lazydiverge consumes this stream directly.
+func (l *DigestLog) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, rec := range l.Records() {
+		if err := enc.Encode(&rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDigestJSONL parses a stream written by WriteJSONL.
+func ReadDigestJSONL(r io.Reader) ([]DigestRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []DigestRecord
+	for {
+		var rec DigestRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// hex64 renders a digest as "0x%016x". The 0x prefix keeps lazycmp's numeric
+// parser from misreading an all-decimal-digit digest as a number.
+func hex64(v uint64) string { return fmt.Sprintf("0x%016x", v) }
+
+// DigestSummary is the telemetry.digest chain summary in the -json document:
+// a single exact bit-identity key for a whole run. The 64-bit digests are
+// carried both as hex strings (human-readable, skipped by lazycmp's numeric
+// flattener) and as hi/lo 32-bit halves, which are exact in float64 so
+// lazycmp can gate on them without precision loss.
+type DigestSummary struct {
+	Every     uint64 `json:"every"`
+	Intervals uint64 `json:"intervals"`
+	Dropped   uint64 `json:"dropped,omitempty"`
+	Final     string `json:"final"`
+	Chain     string `json:"chain"`
+	FinalHi   uint32 `json:"final_hi"`
+	FinalLo   uint32 `json:"final_lo"`
+	ChainHi   uint32 `json:"chain_hi"`
+	ChainLo   uint32 `json:"chain_lo"`
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHasherDeterministicAndOrderSensitive(t *testing.T) {
+	h1 := NewHasher()
+	h1.U64(1)
+	h1.I64(-2)
+	h1.Int(3)
+	h1.Bool(true)
+	h1.F64(4.5)
+	h1.Bytes([]byte("abc"))
+
+	h2 := NewHasher()
+	h2.U64(1)
+	h2.I64(-2)
+	h2.Int(3)
+	h2.Bool(true)
+	h2.F64(4.5)
+	h2.Bytes([]byte("abc"))
+
+	if h1.Sum() != h2.Sum() {
+		t.Fatalf("same inputs, different digests: %#x vs %#x", h1.Sum(), h2.Sum())
+	}
+
+	h3 := NewHasher()
+	h3.I64(-2) // swapped order
+	h3.U64(1)
+	if h3.Sum() == func() uint64 { h := NewHasher(); h.U64(1); h.I64(-2); return h.Sum() }() {
+		t.Fatal("digest is not order-sensitive")
+	}
+}
+
+func TestFoldBytesLengthDisambiguation(t *testing.T) {
+	// A line of zeros must not alias a shorter line of zeros: the length is
+	// folded first.
+	a := FoldBytes(FoldSeed(), make([]byte, 8))
+	b := FoldBytes(FoldSeed(), make([]byte, 16))
+	if a == b {
+		t.Fatal("zero slices of different lengths alias")
+	}
+	// Hasher.Bytes and FoldBytes agree.
+	h := NewHasher()
+	h.Bytes([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if h.Sum() != FoldBytes(FoldSeed(), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Fatal("Hasher.Bytes != FoldBytes")
+	}
+}
+
+func TestDigestLogChainAndBound(t *testing.T) {
+	l := NewDigestLog(64, 4)
+	for i := uint64(1); i <= 6; i++ {
+		l.Record(DigestRecord{Cycle: i * 64, Machine: i})
+	}
+	if got := l.Intervals(); got != 6 {
+		t.Fatalf("Intervals = %d, want 6", got)
+	}
+	if got := l.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	recs := l.Records()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d records, want 4", len(recs))
+	}
+	// Oldest-first after the ring wrapped: cycles 192..384.
+	for i, rec := range recs {
+		if want := uint64(i+3) * 64; rec.Cycle != want {
+			t.Fatalf("record %d cycle = %d, want %d", i, rec.Cycle, want)
+		}
+	}
+	// The chain must cover all 6 samples, not just the retained 4.
+	want := FoldSeed()
+	for i := uint64(1); i <= 6; i++ {
+		want = FoldU64(want, i)
+	}
+	if l.Chain() != want {
+		t.Fatalf("Chain = %#x, want %#x", l.Chain(), want)
+	}
+	if recs[len(recs)-1].Chain != want {
+		t.Fatal("last record's chain != log chain")
+	}
+}
+
+func TestDigestLogSummaryAndJSONLRoundTrip(t *testing.T) {
+	l := NewDigestLog(128, 0)
+	l.Record(DigestRecord{Cycle: 128, Machine: 0xdeadbeefcafef00d, Cores: 7,
+		Parts: []PartDigest{{Part: 0, DRAM: 1, MC: 2, L2: 3, Heaps: 4, Traffic: 5, Stats: 6}}})
+	l.Record(DigestRecord{Cycle: 256, Machine: 42})
+	l.Finalize(0x0123456789abcdef)
+
+	s := l.Summary()
+	if s.Every != 128 || s.Intervals != 2 {
+		t.Fatalf("summary every/intervals = %d/%d", s.Every, s.Intervals)
+	}
+	if s.Final != "0x0123456789abcdef" {
+		t.Fatalf("Final = %q", s.Final)
+	}
+	if got := uint64(s.FinalHi)<<32 | uint64(s.FinalLo); got != 0x0123456789abcdef {
+		t.Fatalf("hi/lo halves reassemble to %#x", got)
+	}
+	if got := uint64(s.ChainHi)<<32 | uint64(s.ChainLo); got != l.Chain() {
+		t.Fatalf("chain halves reassemble to %#x, want %#x", got, l.Chain())
+	}
+
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", n)
+	}
+	recs, err := ReadDigestJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("round trip read %d records", len(recs))
+	}
+	if recs[0].Machine != 0xdeadbeefcafef00d || recs[0].Parts[0].Traffic != 5 {
+		t.Fatalf("round trip mangled record: %+v", recs[0])
+	}
+	if recs[1].Chain != l.Chain() {
+		t.Fatal("round trip lost chain value")
+	}
+}
+
+func TestNilDigestLogIsSafe(t *testing.T) {
+	var l *DigestLog
+	l.Record(DigestRecord{})
+	l.Finalize(1)
+	if l.Summary() != nil || l.Records() != nil || l.Every() != 0 ||
+		l.Intervals() != 0 || l.Dropped() != 0 || l.Chain() != 0 || l.Final() != 0 {
+		t.Fatal("nil DigestLog accessors not zero")
+	}
+	if err := l.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsDigestEnables(t *testing.T) {
+	if (Options{}).Enabled() {
+		t.Fatal("zero Options enabled")
+	}
+	if !(Options{DigestEvery: 4096}).Enabled() {
+		t.Fatal("DigestEvery does not enable the collector")
+	}
+	c := NewCollector(Options{DigestEvery: 4096})
+	if c == nil || c.Digest == nil {
+		t.Fatal("collector missing digest log")
+	}
+	if c.Telemetry().Digest == nil {
+		t.Fatal("telemetry missing digest summary")
+	}
+}
+
+func TestPartDigestSumCoversEveryField(t *testing.T) {
+	base := PartDigest{Part: 1, DRAM: 2, MC: 3, L2: 4, Heaps: 5, Traffic: 6, Stats: 7}
+	sum := base.Sum()
+	variants := []PartDigest{
+		{Part: 9, DRAM: 2, MC: 3, L2: 4, Heaps: 5, Traffic: 6, Stats: 7},
+		{Part: 1, DRAM: 9, MC: 3, L2: 4, Heaps: 5, Traffic: 6, Stats: 7},
+		{Part: 1, DRAM: 2, MC: 9, L2: 4, Heaps: 5, Traffic: 6, Stats: 7},
+		{Part: 1, DRAM: 2, MC: 3, L2: 9, Heaps: 5, Traffic: 6, Stats: 7},
+		{Part: 1, DRAM: 2, MC: 3, L2: 4, Heaps: 9, Traffic: 6, Stats: 7},
+		{Part: 1, DRAM: 2, MC: 3, L2: 4, Heaps: 5, Traffic: 9, Stats: 7},
+		{Part: 1, DRAM: 2, MC: 3, L2: 4, Heaps: 5, Traffic: 6, Stats: 9},
+	}
+	for i, v := range variants {
+		if v.Sum() == sum {
+			t.Fatalf("variant %d did not change the partition sum", i)
+		}
+	}
+}

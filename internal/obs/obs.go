@@ -165,12 +165,22 @@ type Options struct {
 	// QualityLog, kept separate from the AMS-drop log so the two error
 	// sources stay distinguishable.
 	FaultQuality bool
+	// DigestEvery enables the state-digest flight recorder with the given
+	// sampling interval in memory cycles (0 disables). Enabling it also turns
+	// on the partitions' rolling traffic digests, so fill/write-back data
+	// divergence stays visible between samples.
+	DigestEvery uint64
+	// DigestCapacity bounds the digest record ring (0 picks
+	// DefaultDigestCapacity). When the ring wraps, the oldest records are
+	// dropped and counted; the chain summary stays exact regardless.
+	DigestCapacity int
 }
 
 // Enabled reports whether any feature is on.
 func (o Options) Enabled() bool {
 	return o.Latency || o.SampleEvery > 0 || o.TraceCapacity > 0 ||
-		o.Metrics != nil || o.AuditCapacity > 0 || o.Quality || o.FaultQuality
+		o.Metrics != nil || o.AuditCapacity > 0 || o.Quality || o.FaultQuality ||
+		o.DigestEvery > 0
 }
 
 // Collector owns the per-run observability state. A nil *Collector (the
@@ -190,6 +200,10 @@ type Collector struct {
 	Tracer  *Tracer
 	Sampler *Sampler
 	Metrics *Registry
+	// Digest is the state-digest flight recorder (nil unless DigestEvery is
+	// set). It is machine-level, not sharded: records are built and appended
+	// only from the simulation goroutine at barrier-quiesced points.
+	Digest *DigestLog
 
 	opts   Options
 	shards []*Shard
@@ -223,6 +237,9 @@ func NewCollector(o Options) *Collector {
 	}
 	if o.SampleEvery > 0 {
 		c.Sampler = NewSampler(o.SampleEvery)
+	}
+	if o.DigestEvery > 0 {
+		c.Digest = NewDigestLog(o.DigestEvery, o.DigestCapacity)
 	}
 	c.Metrics = o.Metrics
 	return c
@@ -449,6 +466,7 @@ func (c *Collector) Telemetry() *Telemetry {
 	}
 	t.Audit = c.MergedAudit().Summary()
 	t.Quality = c.MergedQuality().Summary()
+	t.Digest = c.Digest.Summary()
 	return t
 }
 
@@ -473,6 +491,10 @@ type Telemetry struct {
 	// census, the determinism digest, and the injected-error histogram. Nil
 	// when the fault model was off.
 	Fault *FaultSummary `json:"fault,omitempty"`
+	// Digest is the state-digest chain summary (nil unless DigestEvery was
+	// set): interval count plus the final and chained machine digests, the
+	// run's exact bit-identity key.
+	Digest *DigestSummary `json:"digest,omitempty"`
 }
 
 // FaultSummary is the serializable digest of a fault-injection run. It

@@ -33,6 +33,9 @@ type Result struct {
 	Telemetry *obs.Telemetry
 	Trace     *obs.CmdTrace
 	Audit     *obs.AuditLog
+	// Digest is the state-digest flight recorder's record stream (nil unless
+	// Config.Obs.DigestEvery > 0), for JSONL export and divergence hunts.
+	Digest *obs.DigestLog
 	// Channels holds one statistics snapshot per memory channel (deep
 	// copies, in channel order) — the unmerged channel × bank counter
 	// matrix behind Run.Mem's aggregates.
@@ -61,6 +64,13 @@ type GPU struct {
 	memCycle  uint64
 	memAcc    float64
 
+	// Stepwise-execution state: phase is the kernel phase the next Step will
+	// advance, seeded records whether its SMs have been launched yet, and
+	// memPerCore is the fixed memory-per-core clock ratio.
+	phase      int
+	seeded     bool
+	memPerCore float64
+
 	insts      uint64
 	l1Accesses uint64
 	l1Misses   uint64
@@ -75,6 +85,7 @@ type GPU struct {
 	sampler *obs.Sampler
 	met     *gpuMetrics
 	prev    sampleState
+	dig     *obs.DigestLog // flight recorder; nil unless Obs.DigestEvery > 0
 
 	// pool, when non-nil (Config.ShardPartitions), ticks partitions on
 	// worker goroutines with a bulk-synchronous barrier per cycle.
@@ -94,6 +105,7 @@ type sampleState struct {
 // already populated im.
 func NewGPU(cfg Config, scheme mc.Scheme, kern Kernel, im *memimage.Image) *GPU {
 	g := &GPU{cfg: cfg, scheme: scheme, kern: kern, im: im}
+	g.memPerCore = cfg.MemClockMHz / cfg.CoreClockMHz
 	annot := kern.Annotations()
 	if scheme.AMS == mc.Off {
 		annot = nil // nothing is approximable without AMS
@@ -112,6 +124,7 @@ func NewGPU(cfg Config, scheme mc.Scheme, kern Kernel, im *memimage.Image) *GPU 
 	if g.col != nil {
 		g.tr = g.col.Tracer
 		g.sampler = g.col.Sampler
+		g.dig = g.col.Digest
 		if g.col.Metrics != nil {
 			g.met = newGPUMetrics(g.col.Metrics, kern.Name(), scheme.Name(),
 				nParts, cfg.DRAM.NumBanks, cfg.Obs.MetricsEvery)
@@ -129,18 +142,96 @@ func NewGPU(cfg Config, scheme mc.Scheme, kern Kernel, im *memimage.Image) *GPU 
 }
 
 // Run executes every phase of the kernel to completion and returns
-// aggregated statistics.
+// aggregated statistics. It is Step in a loop: callers that need lockstep
+// control (cmd/lazydiverge) drive Step directly and then call Finish.
 func (g *GPU) Run() (*Result, error) {
 	defer g.pool.close() // stop the shard workers on every exit path
-	for ph := 0; ph < g.kern.Phases(); ph++ {
-		g.seedPhase(ph)
-		if err := g.runPhase(); err != nil {
+	for {
+		done, err := g.Step()
+		if err != nil {
 			return nil, err
 		}
-		g.retireSMs()
+		if done {
+			return g.collect(), nil
+		}
 	}
-	return g.collect(), nil
 }
+
+// Step advances the simulation by exactly one core cycle (seeding the next
+// kernel phase lazily, so the first Step of a phase launches its SMs). It
+// returns done=true once every phase has finished, after which further Steps
+// are no-ops. A non-nil error means the cycle limit was exceeded; the GPU is
+// shut down and must not be stepped further.
+//
+// Two GPUs built from the same kernel/config/seed and stepped in lockstep
+// stay cycle-aligned: Step's body is runPhase's former loop body, so the
+// clock-crossing (memAcc) and phase-boundary schedule are bit-identical to
+// Run's.
+func (g *GPU) Step() (done bool, err error) {
+	if g.phase >= g.kern.Phases() {
+		return true, nil
+	}
+	if !g.seeded {
+		g.seedPhase(g.phase)
+		g.seeded = true
+	}
+	if g.coreCycle >= g.cfg.MaxCoreCycles {
+		g.shutdown()
+		return false, fmt.Errorf("sim: %s exceeded %d core cycles", g.kern.Name(), g.cfg.MaxCoreCycles)
+	}
+	g.coreTick()
+	g.memAcc += g.memPerCore
+	if g.memAcc >= 1 {
+		g.memAcc--
+		if g.pool != nil {
+			g.pool.memTick(g.memCycle)
+		} else {
+			for _, p := range g.partitions {
+				p.memTick(g.memCycle)
+			}
+		}
+		g.memCycle++
+		// Probes below run on this goroutine strictly after the barrier
+		// (or the sequential loop), so they read quiesced state only.
+		if g.sampler != nil {
+			g.sampler.Tick(g.memCycle, g.probeSample)
+		}
+		if g.dig != nil && g.memCycle%g.dig.Every() == 0 {
+			g.dig.Record(g.digestRecord())
+		}
+		if g.met != nil && g.memCycle%g.met.every == 0 {
+			g.publishMetrics()
+		}
+	}
+	g.coreCycle++
+	if g.coreCycle%512 == 0 && g.done() {
+		g.retireSMs()
+		g.phase++
+		g.seeded = false
+		if g.phase >= g.kern.Phases() {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Finish ends a stepwise run: it stops the shard workers and aggregates the
+// results. Call it once, after Step has returned done=true.
+func (g *GPU) Finish() *Result {
+	g.pool.close()
+	return g.collect()
+}
+
+// Close stops the shard workers without collecting results; for abandoning a
+// stepwise run early (a Step error, or a located divergence). Safe to call
+// more than once; Run and Finish close the pool themselves.
+func (g *GPU) Close() { g.pool.close() }
+
+// MemCycle returns the current memory-clock cycle.
+func (g *GPU) MemCycle() uint64 { return g.memCycle }
+
+// CoreCycle returns the current core-clock cycle.
+func (g *GPU) CoreCycle() uint64 { return g.coreCycle }
 
 // seedPhase distributes the phase's thread blocks round-robin over fresh SMs
 // (L1 caches start cold per launch, as on real hardware).
@@ -173,41 +264,6 @@ func (g *GPU) retireSMs() {
 	// Folded SMs must not be counted again by live probes (probeSample,
 	// publishMetrics) between phases or at collect time.
 	g.sms = g.sms[:0]
-}
-
-func (g *GPU) runPhase() error {
-	memPerCore := g.cfg.MemClockMHz / g.cfg.CoreClockMHz
-	for {
-		if g.coreCycle >= g.cfg.MaxCoreCycles {
-			g.shutdown()
-			return fmt.Errorf("sim: %s exceeded %d core cycles", g.kern.Name(), g.cfg.MaxCoreCycles)
-		}
-		g.coreTick()
-		g.memAcc += memPerCore
-		if g.memAcc >= 1 {
-			g.memAcc--
-			if g.pool != nil {
-				g.pool.memTick(g.memCycle)
-			} else {
-				for _, p := range g.partitions {
-					p.memTick(g.memCycle)
-				}
-			}
-			g.memCycle++
-			// Probes below run on this goroutine strictly after the barrier
-			// (or the sequential loop), so they read quiesced state only.
-			if g.sampler != nil {
-				g.sampler.Tick(g.memCycle, g.probeSample)
-			}
-			if g.met != nil && g.memCycle%g.met.every == 0 {
-				g.publishMetrics()
-			}
-		}
-		g.coreCycle++
-		if g.coreCycle%512 == 0 && g.done() {
-			return nil
-		}
-	}
 }
 
 func (g *GPU) shutdown() {
@@ -345,6 +401,12 @@ func (g *GPU) done() bool {
 }
 
 func (g *GPU) collect() *Result {
+	// The final machine digest must be taken first: the drains and flushes
+	// below mutate bank accounting and L2 dirty state, and the digest should
+	// describe the machine as the last Step left it.
+	if g.dig != nil {
+		g.dig.Finalize(g.MachineDigest())
+	}
 	res := &Result{}
 	r := &res.Run
 	r.App = g.kern.Name()
@@ -389,6 +451,7 @@ func (g *GPU) collect() *Result {
 		res.Telemetry = g.col.Telemetry()
 		res.Trace = g.col.MergedTrace()
 		res.Audit = g.col.MergedAudit()
+		res.Digest = g.col.Digest
 	}
 	if g.cfg.Fault.Enabled {
 		fs := g.faultSummary()
@@ -435,9 +498,11 @@ func (g *GPU) faultSummary() *obs.FaultSummary {
 	return fs
 }
 
-// Simulate is the one-call entry point: set up the kernel's memory, run all
-// its phases under the scheme, flush caches, and return the results.
-func Simulate(kern Kernel, cfg Config, scheme mc.Scheme, seed int64) (*Result, error) {
+// Prepare performs Simulate's setup — fault-seed defaulting, memory image
+// construction, deterministic kernel initialization — and returns a GPU ready
+// to execute. Callers either Run it, or drive it with Step and then Finish
+// (or Close, to abandon it).
+func Prepare(kern Kernel, cfg Config, scheme mc.Scheme, seed int64) *GPU {
 	if cfg.Fault.Enabled && cfg.Fault.Seed == 0 {
 		// Default the fault seed to the run seed so -seed alone reproduces a
 		// fault run end to end.
@@ -446,6 +511,11 @@ func Simulate(kern Kernel, cfg Config, scheme mc.Scheme, seed int64) (*Result, e
 	im := memimage.New(kern.MemBytes() + 4*memimage.LineSize)
 	rng := rand.New(rand.NewSource(seed))
 	kern.Setup(im, rng)
-	g := NewGPU(cfg, scheme, kern, im)
-	return g.Run()
+	return NewGPU(cfg, scheme, kern, im)
+}
+
+// Simulate is the one-call entry point: set up the kernel's memory, run all
+// its phases under the scheme, flush caches, and return the results.
+func Simulate(kern Kernel, cfg Config, scheme mc.Scheme, seed int64) (*Result, error) {
+	return Prepare(kern, cfg, scheme, seed).Run()
 }

@@ -75,6 +75,15 @@ type partition struct {
 	done       doneHeap
 	hits       hitHeap
 	outReplies []*core.MemReply
+
+	// traffic is the partition's rolling data digest: every fill's returned
+	// bytes (after fault corruption) and every write-back's bytes are folded
+	// in as they happen, so a single corrupted line perturbs every later
+	// digest sample even after the line itself is evicted. Folded only when
+	// digestOn (Config.Obs.DigestEvery > 0); written exclusively from the
+	// partition's own tick path, read at barrier-quiesced sample points.
+	traffic  uint64
+	digestOn bool
 }
 
 // newPartition wires partition id. shard is the partition's private slice of
@@ -83,6 +92,8 @@ type partition struct {
 // partitions can tick concurrently without sharing any obs structure.
 func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotations, scheme mc.Scheme, shard *obs.Shard) *partition {
 	p := &partition{id: id, cfg: cfg, im: im, annot: annot}
+	p.traffic = obs.FoldSeed()
+	p.digestOn = cfg.Obs.DigestEvery > 0
 	p.l2 = cache.New(cfg.L2)
 	p.mshr = cache.NewMSHR(cfg.L2MSHREntries, cfg.L2MSHRTargets)
 	p.dchan = dram.NewChannel(cfg.DRAM, &p.st)
@@ -132,6 +143,10 @@ func (p *partition) onMCComplete(req *mc.Request, approxDrop bool, readyAt uint6
 // by snooping the write queue; we fold it into the functional state).
 func (p *partition) queueWB(addr uint64, data []byte) {
 	p.im.WriteLine(addr, data)
+	if p.digestOn {
+		p.traffic = obs.FoldU64(p.traffic, addr)
+		p.traffic = obs.FoldBytes(p.traffic, data)
+	}
 	var e wbEntry
 	e.addr = addr
 	copy(e.data[:], data)
@@ -182,6 +197,14 @@ func (p *partition) finishFill(it doneItem) {
 			p.fq.RecordLine(it.readyAt, line, data[:], truth[:])
 		}
 		p.vp.Observe(line, &data)
+	}
+	if p.digestOn {
+		// The delivered bytes — post-fault-corruption, post-prediction — are
+		// the partition's externally visible data. Fold them with the delivery
+		// time so timing-identical-but-data-different runs still diverge here.
+		p.traffic = obs.FoldU64(p.traffic, it.readyAt)
+		p.traffic = obs.FoldU64(p.traffic, line)
+		p.traffic = obs.FoldBytes(p.traffic, data[:])
 	}
 	if ev, evicted := p.l2.Fill(line, data[:], it.approx); evicted {
 		p.queueWB(ev.Addr, ev.Data[:])

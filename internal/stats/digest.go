@@ -1,0 +1,46 @@
+package stats
+
+import "lazydram/internal/obs"
+
+// DigestInto folds every counter of the Mem block into h, including the RBL
+// histograms and the per-bank matrix. Counters are state too: two executions
+// can only call themselves identical if they agree on what they counted.
+func (m *Mem) DigestInto(h *obs.Hasher) {
+	h.U64(m.Activations)
+	h.U64(m.Reads)
+	h.U64(m.Writes)
+	h.U64(m.ReadReqs)
+	h.U64(m.WriteReqs)
+	h.U64(m.Dropped)
+	h.U64(m.DataBusBusy)
+	h.U64(m.Cycles)
+	h.Int(m.NumChannels)
+	for i := range m.RBL {
+		h.U64(m.RBL[i])
+		h.U64(m.ReadsPerRBL[i])
+	}
+	h.U64(m.ReadOnlyActs)
+	h.U64(m.Refreshes)
+	h.U64(m.QueueOccSum)
+	h.U64(m.DelaySum)
+	h.U64(m.ThRBLSum)
+	h.U64(m.FaultActFlips)
+	h.U64(m.FaultRetFlips)
+	h.U64(m.FaultBusFlips)
+	h.U64(m.FaultReads)
+	h.Int(len(m.Banks))
+	for i := range m.Banks {
+		b := &m.Banks[i]
+		h.U64(b.Activations)
+		h.U64(b.Reads)
+		h.U64(b.Writes)
+		h.U64(b.Precharges)
+		h.U64(b.RowHits)
+		h.U64(b.RowMisses)
+		h.U64(b.RowConflicts)
+		h.U64(b.BusBusy)
+		h.U64(b.DMSDelayCycles)
+		h.U64(b.AMSDrops)
+		h.U64(b.FaultFlips)
+	}
+}
