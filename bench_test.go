@@ -332,3 +332,11 @@ func BenchmarkDigestOff(b *testing.B) { benchTelemetry(b, obs.Options{}) }
 func BenchmarkDigestOn(b *testing.B) {
 	benchTelemetry(b, obs.Options{DigestEvery: obs.DefaultDigestEvery})
 }
+
+// BenchmarkCensusOff / BenchmarkCensusOn bracket the cycle census: On runs
+// the per-cycle stall-attribution and bank-residency classification in every
+// controller tick plus the partition-cycle census, and must stay within the
+// 2% overhead budget of Off (Off measures the disabled nil-check hooks).
+func BenchmarkCensusOff(b *testing.B) { benchTelemetry(b, obs.Options{}) }
+
+func BenchmarkCensusOn(b *testing.B) { benchTelemetry(b, obs.Options{Census: true}) }

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-out results] [-apps GEMM,SCP] [-seed 1] [-workers N] [-shard] [ids...]
+//	experiments [-out results] [-apps GEMM,SCP] [-seed 1] [-workers N] [-shard] [-shard-workers M] [ids...]
 //
 // With no ids, every experiment runs in paper order. Each experiment writes
 // <out>/<id>.txt plus any binary artifacts (e.g. Fig. 14's PGM images), and
@@ -24,16 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"lazydram/internal/buildinfo"
+	"lazydram/internal/cliflags"
 	"lazydram/internal/exp"
 	"lazydram/internal/obs"
 )
@@ -47,13 +44,12 @@ func main() {
 		version = flag.Bool("version", false, "print build provenance and exit")
 
 		workers = flag.Int("workers", 0, "concurrent simulations (0: GOMAXPROCS); results are identical for any value")
-		shard   = flag.Bool("shard", false, "also shard each simulation's partition ticking (bit-identical; see DESIGN.md)")
 
-		runlog      = flag.String("runlog", "", "write PREFIX.trace.json (Chrome trace), PREFIX.events.jsonl, and PREFIX.sweep.json from the run-lifecycle log")
-		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics (Prometheus) and /vars (expvar JSON) on this address during the batch")
+		runlog = flag.String("runlog", "", "write PREFIX.trace.json (Chrome trace), PREFIX.events.jsonl, and PREFIX.sweep.json from the run-lifecycle log")
 
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		shard   = cliflags.AddShard(flag.CommandLine)
+		metrics = cliflags.AddMetrics(flag.CommandLine)
+		prof    = cliflags.AddProfiling(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -62,32 +58,12 @@ func main() {
 		return
 	}
 
-	if *pprofAddr != "" {
-		// Bind before the batch starts so a bad address fails fast instead of
-		// silently profiling nothing.
-		ln, err := net.Listen("tcp", *pprofAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pprof:", err)
-			os.Exit(1)
-		}
-		go func() {
-			if err := http.Serve(ln, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof:", err)
-			}
-		}()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
-	}
+	defer stopProf()
 
 	if *list {
 		for _, id := range exp.IDs() {
@@ -101,20 +77,20 @@ func main() {
 	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
 		ids = exp.IDs()
 	}
-	opts := exp.Options{Seed: *seed, Workers: *workers, ShardPartitions: *shard}
+	opts := exp.Options{Seed: *seed, Workers: *workers,
+		ShardPartitions: shard.Enabled, ShardWorkers: shard.Workers}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
 	var reg *obs.Registry
-	if *metricsAddr != "" {
+	if metrics.Addr != "" {
 		reg = obs.NewRegistry()
-		srv, addr, err := serveMetrics(*metricsAddr, reg)
+		srv, _, err := metrics.Serve(reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics and /vars\n", addr)
 	}
 	var rl *obs.RunLog
 	if *runlog != "" || reg != nil {
@@ -204,24 +180,4 @@ func writeRunLog(rl *obs.RunLog, sum *obs.SweepSummary, prefix string) error {
 		"meta":  map[string]any{"build": buildinfo.Get()},
 		"sweep": sum,
 	})
-}
-
-// serveMetrics starts an HTTP server exposing the registry: Prometheus text
-// exposition at /metrics and expvar-style JSON at /vars. It returns the
-// bound address so callers can use ":0".
-func serveMetrics(addr string, reg *obs.Registry) (*http.Server, string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, "", fmt.Errorf("metrics: %w", err)
-	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/vars", reg.ExpvarHandler())
-	srv := &http.Server{Handler: mux}
-	go func() {
-		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, "metrics:", err)
-		}
-	}()
-	return srv, ln.Addr().String(), nil
 }

@@ -15,11 +15,12 @@
 //	-thresholds S   per-metric overrides, e.g. "ipc=0.02,stage.*=0.10";
 //	                a trailing * matches by prefix, later entries win ties
 //	                only by being more specific (exact > longest prefix)
-//	-ignore S       comma-separated metric patterns (same matching as
-//	                -thresholds) excluded from the comparison entirely —
-//	                for nondeterministic keys like sweep.timing.* where no
-//	                finite threshold works (a change from exactly 0 has
-//	                infinite relative delta)
+//	-ignore S       comma-separated metric patterns excluded from the
+//	                comparison entirely — for nondeterministic keys like
+//	                sweep.timing.* or run.*.wall_seconds where no finite
+//	                threshold works (a change from exactly 0 has infinite
+//	                relative delta). Each * matches any substring, so both
+//	                trailing prefixes and mid-string globs work.
 //	-json FILE      write the delta document to FILE ("-" for stdout)
 //	-report-only    always exit 0; print and emit deltas only
 //	-fail-on-new    treat metrics present in only one document as failures
@@ -211,7 +212,11 @@ func flatten(doc map[string]any) (out map[string]float64, skipped []string) {
 				if app == "" || scheme == "" {
 					continue
 				}
-				for _, f := range []string{"ipc", "activations", "row_energy_nj", "app_error", "coverage"} {
+				// wall_seconds and cycles_per_sec are wall-clock: flattened so
+				// they appear in reports, ignored in CI gates via
+				// -ignore "run.*.wall_seconds,run.*.cycles_per_sec".
+				for _, f := range []string{"ipc", "activations", "row_energy_nj",
+					"app_error", "coverage", "wall_seconds", "cycles_per_sec"} {
 					if x, ok := m[f]; ok {
 						put("run."+app+"."+scheme+"."+f, x)
 					}
@@ -304,6 +309,9 @@ func flatten(doc map[string]any) (out map[string]float64, skipped []string) {
 					}
 				}
 			}
+			if cm, ok := m["census"].(map[string]any); ok {
+				putCensus(put, cm)
+			}
 			if fm, ok := m["fault"].(map[string]any); ok {
 				for _, f := range []string{"seed", "bus_ber", "weak_density",
 					"reads", "corrupted_reads", "act_flips", "ret_flips",
@@ -323,6 +331,78 @@ func flatten(doc map[string]any) (out map[string]float64, skipped []string) {
 	return out, skipped
 }
 
+// putCensus flattens the cycle-census summary: the machine-level scalars
+// (including the Σ-invariant pair latency_cycles/attributed_cycles, so an
+// exact-match gate doubles as an exactness gate), the per-cause stall and
+// per-state residency decompositions, ingress backpressure, and the
+// per-channel rollup. The host phase profile is wall-clock and stays out,
+// like wall_ms; the gap histogram buckets are a derived view of the gated
+// gap_* percentiles.
+func putCensus(put func(string, any), cm map[string]any) {
+	for _, f := range []string{"requests", "latency_cycles", "attributed_cycles",
+		"bank_cycles", "partition_cycles", "advancing", "timing_wait", "idle",
+		"skippable_frac", "gap_count", "gap_mean", "gap_p50", "gap_p90",
+		"gap_p99", "gap_max"} {
+		if x, ok := cm[f]; ok {
+			put("census."+f, x)
+		}
+	}
+	stalls, _ := cm["stalls"].([]any)
+	for _, sv := range stalls {
+		sm, ok := sv.(map[string]any)
+		if !ok {
+			continue
+		}
+		cause, _ := sm["cause"].(string)
+		if cause == "" {
+			continue
+		}
+		put("census.stall."+cause+".cycles", sm["cycles"])
+		put("census.stall."+cause+".requests", sm["requests"])
+	}
+	res, _ := cm["residency"].([]any)
+	for _, rv := range res {
+		rm, ok := rv.(map[string]any)
+		if !ok {
+			continue
+		}
+		state, _ := rm["state"].(string)
+		if state == "" {
+			continue
+		}
+		put("census.state."+state+".cycles", rm["cycles"])
+	}
+	if im, ok := cm["ingress"].(map[string]any); ok {
+		for _, f := range []string{"mshr_full", "merge_limit", "queue_full"} {
+			if x, ok := im[f]; ok {
+				put("census.ingress."+f, x)
+			}
+		}
+	}
+	chans, _ := cm["channels"].([]any)
+	for _, cv := range chans {
+		chm, ok := cv.(map[string]any)
+		if !ok {
+			continue
+		}
+		ch, ok := chm["channel"].(float64)
+		if !ok {
+			continue
+		}
+		prefix := fmt.Sprintf("census.ch%d.", int(ch))
+		for _, f := range []string{"requests", "latency_cycles", "skippable_frac"} {
+			if x, ok := chm[f]; ok {
+				put(prefix+f, x)
+			}
+		}
+		if scm, ok := chm["stall_cycles"].(map[string]any); ok {
+			for cause, x := range scm {
+				put(prefix+"stall."+cause, x)
+			}
+		}
+	}
+}
+
 // putQuality flattens one QualitySummary map (the AMS-drop log and the
 // injected-fault log share the shape) under the given key prefix.
 func putQuality(put func(string, any), prefix string, qm map[string]any) {
@@ -335,8 +415,9 @@ func putQuality(put func(string, any), prefix string, qm map[string]any) {
 	}
 }
 
-// parseIgnore splits the -ignore pattern list (exact names, or trailing-*
-// prefixes — the same matching as -thresholds).
+// parseIgnore splits the -ignore pattern list: exact names or glob patterns
+// where each * matches any substring (so run.*.wall_seconds covers every
+// app×scheme row).
 func parseIgnore(s string) []string {
 	var pats []string
 	for _, p := range strings.Split(s, ",") {
@@ -350,14 +431,34 @@ func parseIgnore(s string) []string {
 // ignoreMatch reports whether a metric name matches any ignore pattern.
 func ignoreMatch(name string, pats []string) bool {
 	for _, pat := range pats {
-		if pat == name {
-			return true
-		}
-		if p, ok := strings.CutSuffix(pat, "*"); ok && strings.HasPrefix(name, p) {
+		if globMatch(pat, name) {
 			return true
 		}
 	}
 	return false
+}
+
+// globMatch reports whether name matches pattern, where each * matches any
+// (possibly empty) substring; a pattern with no * must match exactly. This
+// subsumes the old trailing-* prefix match and adds mid-string globs like
+// run.*.wall_seconds.
+func globMatch(pattern, name string) bool {
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == name
+	}
+	if !strings.HasPrefix(name, parts[0]) {
+		return false
+	}
+	rest := name[len(parts[0]):]
+	for _, part := range parts[1 : len(parts)-1] {
+		idx := strings.Index(rest, part)
+		if idx < 0 {
+			return false
+		}
+		rest = rest[idx+len(part):]
+	}
+	return strings.HasSuffix(rest, parts[len(parts)-1])
 }
 
 // dropIgnored removes matching metrics from both documents and returns how

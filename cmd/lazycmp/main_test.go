@@ -315,7 +315,8 @@ const sampleSweepDoc = `{
 		{"app": "jmein", "scheme": "Baseline", "ipc": 2.8, "activations": 11494,
 		 "row_energy_nj": 258615, "app_error": 0, "coverage": 0},
 		{"app": "jmein", "scheme": "Static-AMS", "ipc": 3.11, "activations": 9941,
-		 "row_energy_nj": 223672.5, "app_error": 0.092, "coverage": 0.1}
+		 "row_energy_nj": 223672.5, "app_error": 0.092, "coverage": 0.1,
+		 "wall_seconds": 0.29, "cycles_per_sec": 41379.3}
 	],
 	"sweep": {
 		"runs": 4, "executed": 2, "deduped": 2, "errors": 0,
@@ -345,21 +346,23 @@ func TestFlattenSweepDoc(t *testing.T) {
 		t.Fatalf("unexpected skipped metrics: %v", skipped)
 	}
 	for name, want := range map[string]float64{
-		"run.jmein.Baseline.ipc":             2.8,
-		"run.jmein.Baseline.activations":     11494,
-		"run.jmein.Static-AMS.row_energy_nj": 223672.5,
-		"run.jmein.Static-AMS.app_error":     0.092,
-		"run.jmein.Static-AMS.coverage":      0.1,
-		"sweep.runs":                         4,
-		"sweep.executed":                     2,
-		"sweep.deduped":                      2,
-		"sweep.errors":                       0,
-		"sweep.prefetch_hits":                1,
-		"sweep.events":                       14,
-		"sweep.sim_cycles":                   24000,
-		"sweep.timing.wall_seconds":          0.61,
-		"sweep.timing.worker_occupancy":      0.95,
-		"sweep.timing.alloc_bytes":           1048576,
+		"run.jmein.Baseline.ipc":              2.8,
+		"run.jmein.Baseline.activations":      11494,
+		"run.jmein.Static-AMS.row_energy_nj":  223672.5,
+		"run.jmein.Static-AMS.app_error":      0.092,
+		"run.jmein.Static-AMS.coverage":       0.1,
+		"run.jmein.Static-AMS.wall_seconds":   0.29,
+		"run.jmein.Static-AMS.cycles_per_sec": 41379.3,
+		"sweep.runs":                          4,
+		"sweep.executed":                      2,
+		"sweep.deduped":                       2,
+		"sweep.errors":                        0,
+		"sweep.prefetch_hits":                 1,
+		"sweep.events":                        14,
+		"sweep.sim_cycles":                    24000,
+		"sweep.timing.wall_seconds":           0.61,
+		"sweep.timing.worker_occupancy":       0.95,
+		"sweep.timing.alloc_bytes":            1048576,
 	} {
 		if got, ok := m[name]; !ok || got != want {
 			t.Errorf("flatten[%q] = %v (present=%v), want %v", name, got, ok, want)
@@ -370,10 +373,13 @@ func TestFlattenSweepDoc(t *testing.T) {
 			t.Errorf("flatten admitted %q", name)
 		}
 	}
-	// Every timing key must share the prefix one ignore rule covers.
+	// Every wall-clock key must be coverable by one of the documented ignore
+	// rules: the sweep.timing.* prefix or the run.*.wall_seconds /
+	// run.*.cycles_per_sec globs.
+	ignoreRules := []string{"sweep.timing.*", "run.*.wall_seconds", "run.*.cycles_per_sec"}
 	for name := range m {
-		if strings.Contains(name, "seconds") && !strings.HasPrefix(name, "sweep.timing.") {
-			t.Errorf("wall-clock metric %q outside sweep.timing.*", name)
+		if strings.Contains(name, "seconds") && !ignoreMatch(name, ignoreRules) {
+			t.Errorf("wall-clock metric %q not covered by the ignore rules", name)
 		}
 	}
 }
@@ -417,5 +423,107 @@ func TestIgnore(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "sweep.timing.") {
 		t.Fatalf("ignored metric still in the table:\n%s", out.String())
+	}
+}
+
+// TestGlobMatch: the -ignore matcher must support exact names, trailing-*
+// prefixes (the historical behavior), and mid-string globs.
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"ipc", "ipc", true},
+		{"ipc", "ipc2", false},
+		{"stage.*", "stage.mc.queue.p99", true},
+		{"stage.*", "audit.total", false},
+		{"run.*.wall_seconds", "run.jmein.Baseline.wall_seconds", true},
+		{"run.*.wall_seconds", "run.jmein.Baseline.ipc", false},
+		{"run.*.wall_seconds", "sweep.timing.wall_seconds", false},
+		{"*.wall_seconds", "sweep.timing.wall_seconds", true},
+		{"census.ch*.stall.*", "census.ch0.stall.trcd", true},
+		{"census.ch*.stall.*", "census.requests", false},
+		{"*", "anything", true},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pattern, c.name); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+const sampleCensusDoc = `{
+	"telemetry": {
+		"census": {
+			"requests": 100, "latency_cycles": 5000, "attributed_cycles": 5000,
+			"bank_cycles": 2000, "partition_cycles": 2000,
+			"advancing": 1200, "timing_wait": 700, "idle": 100,
+			"skippable_frac": 0.4,
+			"gap_count": 300, "gap_mean": 2.67, "gap_p50": 2, "gap_p90": 5,
+			"gap_p99": 9, "gap_max": 40,
+			"gap_hist": [{"lo": 1, "hi": 2, "count": 150}],
+			"stalls": [
+				{"cause": "queued", "cycles": 3000, "share": 0.6, "requests": 90},
+				{"cause": "trcd", "cycles": 2000, "share": 0.4, "requests": 40}
+			],
+			"residency": [
+				{"state": "serving", "cycles": 900, "share": 0.45},
+				{"state": "idle", "cycles": 1100, "share": 0.55}
+			],
+			"ingress": {"mshr_full": 7, "merge_limit": 2, "queue_full": 0},
+			"channels": [
+				{"channel": 0, "requests": 100, "latency_cycles": 5000,
+				 "skippable_frac": 0.4,
+				 "stall_cycles": {"queued": 3000, "trcd": 2000},
+				 "banks": [{"bank": 0, "serving": 900, "idle": 1100}]}
+			],
+			"host": {"sample_every": 64, "mem_ticks_sampled": 31, "mem_ns": 123456}
+		}
+	}
+}`
+
+// TestFlattenCensus: the census block flattens to gateable scalars — totals,
+// the Σ-invariant pair, per-cause stalls, per-state residency, ingress, and
+// per-channel rollups — while the wall-clock host profile and the raw gap
+// histogram stay out.
+func TestFlattenCensus(t *testing.T) {
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sampleCensusDoc), &doc); err != nil {
+		t.Fatal(err)
+	}
+	m, skipped := flatten(doc)
+	if len(skipped) != 0 {
+		t.Fatalf("unexpected skipped metrics: %v", skipped)
+	}
+	for name, want := range map[string]float64{
+		"census.requests":              100,
+		"census.latency_cycles":        5000,
+		"census.attributed_cycles":     5000,
+		"census.bank_cycles":           2000,
+		"census.partition_cycles":      2000,
+		"census.advancing":             1200,
+		"census.timing_wait":           700,
+		"census.idle":                  100,
+		"census.skippable_frac":        0.4,
+		"census.gap_p99":               9,
+		"census.stall.queued.cycles":   3000,
+		"census.stall.queued.requests": 90,
+		"census.stall.trcd.cycles":     2000,
+		"census.state.serving.cycles":  900,
+		"census.state.idle.cycles":     1100,
+		"census.ingress.mshr_full":     7,
+		"census.ch0.requests":          100,
+		"census.ch0.skippable_frac":    0.4,
+		"census.ch0.stall.queued":      3000,
+		"census.ch0.stall.trcd":        2000,
+	} {
+		if got, ok := m[name]; !ok || got != want {
+			t.Errorf("flatten[%q] = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+	for name := range m {
+		if strings.Contains(name, "host") || strings.Contains(name, "gap_hist") {
+			t.Errorf("flatten leaked wall-clock/derived census key %q", name)
+		}
 	}
 }

@@ -207,6 +207,9 @@ func writeDoc(b *strings.Builder, d *runDoc, named bool) {
 		writeStagesSection(b, t.Stages, suffix)
 	}
 	writeHeatmapSection(b, d, suffix)
+	if t != nil && t.Census != nil {
+		writeCensusSection(b, t.Census, suffix)
+	}
 	if t != nil && t.Quality != nil {
 		writeQualitySection(b, t.Quality, suffix)
 	}
@@ -269,7 +272,7 @@ func writeSweepSection(b *strings.Builder, s *sweepSummary, suffix string) {
 		sort.Float64s(walls)
 		pts := make([]pt, 0, len(walls))
 		for i, wv := range walls {
-			pts = append(pts, pt{wv, float64(i + 1) / float64(len(walls))})
+			pts = append(pts, pt{wv, float64(i+1) / float64(len(walls))})
 		}
 		mini(b, "run-duration CDF (seconds)", lineChart([]series{{"run wall", "ls1", pts}}, nil, nil))
 	}
@@ -533,6 +536,143 @@ func writeQualitySection(b *strings.Builder, q *qualitySummary, suffix string) {
 		writeTable(b, []string{"line addr", "cycle", "words", "mean abs", "mean rel", "max rel"}, rows)
 	}
 	b.WriteString("</section>\n")
+}
+
+// --- cycle census -----------------------------------------------------------
+
+func writeCensusSection(b *strings.Builder, c *censusSummary, suffix string) {
+	openSection(b, "Cycle census"+suffix,
+		"Exact latency provenance: every retired request's queue+service cycles charged to one stall cause, every bank-cycle classified into one residency state, and the partition-cycle census that sizes event-driven skip-ahead (ROADMAP item 2).")
+	if c.InvariantError != "" {
+		fmt.Fprintf(b, "<p class=\"cap\">⚠ Σ-invariant violation: %s</p>\n", esc(c.InvariantError))
+	}
+	writeTiles(b, []tile{
+		{"requests", fnum(float64(c.Requests))},
+		{"latency cycles", fnum(float64(c.LatencyCycles))},
+		{"attributed cycles", fnum(float64(c.AttributedCycles))},
+		{"skippable fraction", fmt.Sprintf("%.1f%%", 100*c.SkippableFrac)},
+		{"gap p50 / p99 (cycles)", fmt.Sprintf("%s / %s", fnum(float64(c.GapP50)), fnum(float64(c.GapP99)))},
+		{"max gap", fnum(float64(c.GapMax))},
+	})
+
+	// Stall-cause stacked bars: machine-wide decomposition on top, one bar
+	// per channel below, segments in taxonomy order so colors line up.
+	if len(c.Stalls) > 0 {
+		causeClass := make(map[string]string, len(c.Stalls))
+		var legend strings.Builder
+		legend.WriteString(`<div class="legend">`)
+		for i, st := range c.Stalls {
+			cls := fmt.Sprintf("q%d", (i*11/max(1, len(c.Stalls)-1))+1)
+			causeClass[st.Cause] = cls
+			fmt.Fprintf(&legend, `<span><i class="%s"></i>%s</span>`, cls, esc(st.Cause))
+		}
+		legend.WriteString("</div>\n")
+		rows := []stackRow{machineStallRow(c, causeClass)}
+		for _, ch := range c.Channels {
+			row := stackRow{Label: fmt.Sprintf("ch%d", ch.Channel)}
+			for _, st := range c.Stalls { // taxonomy order, not map order
+				if v := ch.StallCycles[st.Cause]; v > 0 {
+					row.Segs = append(row.Segs, stackSeg{Name: st.Cause, Value: float64(v), Class: causeClass[st.Cause]})
+				}
+			}
+			rows = append(rows, row)
+		}
+		b.WriteString(legend.String())
+		mini(b, "stall-cause decomposition (cycles; every bar sums to its requests' measured latency)", stackedBar(rows))
+	}
+
+	b.WriteString(`<div class="minis">`)
+	// Bank-residency heatmap: one row per channel·bank, one column per state.
+	states := []string{"serving", "dms_held", "timing_wait", "open_idle", "precharging", "idle"}
+	var vals [][]float64
+	var rowLabels []string
+	for _, ch := range c.Channels {
+		for _, bk := range ch.Banks {
+			rowLabels = append(rowLabels, fmt.Sprintf("ch%d·b%d", ch.Channel, bk.Bank))
+			vals = append(vals, []float64{
+				float64(bk.Serving), float64(bk.DMSHeld), float64(bk.TimingWait),
+				float64(bk.OpenIdle), float64(bk.Precharging), float64(bk.Idle),
+			})
+		}
+	}
+	if len(vals) > 0 {
+		mini(b, "bank state residency (cycles; each row sums to the elapsed bank-cycles)",
+			heatmap(vals, func(i int) string { return rowLabels[i] },
+				func(j int) string { return states[j] }, "cycles"))
+	}
+	// Partition-cycle census and the skip-ahead gap histogram.
+	mini(b, "partition-cycle census", barChart([]barRow{
+		{Label: "advancing", Value: float64(c.Advancing), Class: "s1", Note: "an architectural event happened"},
+		{Label: "timing-wait (skippable)", Value: float64(c.TimingWait), Class: "s2", Note: "work pending, nothing could change — an event-driven loop skips these"},
+		{Label: "fully idle", Value: float64(c.Idle), Class: "s3"},
+	}))
+	if rows := histRows(c.GapHist, "s2"); len(rows) > 0 {
+		mini(b, fmt.Sprintf("next-event gap histogram (cycles per skip; mean %s)", fnum(c.GapMean)), barChart(rows))
+	}
+	b.WriteString("</div>\n")
+
+	if in := c.Ingress; in != nil && in.MSHRFull+in.MergeLimit+in.QueueFull > 0 {
+		fmt.Fprintf(b, "<p class=\"cap\">Ingress backpressure (core-cycle retries at the partition boundary, outside the mem-side invariant):</p>\n")
+		writeTable(b, []string{"mshr full", "merge limit", "queue full"}, [][]string{{
+			fnum(float64(in.MSHRFull)), fnum(float64(in.MergeLimit)), fnum(float64(in.QueueFull)),
+		}})
+	}
+	if c.Host != nil {
+		writeHostPhases(b, c.Host)
+	}
+	b.WriteString("</section>\n")
+}
+
+// machineStallRow builds the machine-wide stacked decomposition row.
+func machineStallRow(c *censusSummary, causeClass map[string]string) stackRow {
+	row := stackRow{Label: "machine"}
+	for _, st := range c.Stalls {
+		if st.Cycles > 0 {
+			row.Segs = append(row.Segs, stackSeg{Name: st.Cause, Value: float64(st.Cycles), Class: causeClass[st.Cause]})
+		}
+	}
+	return row
+}
+
+// writeHostPhases renders the host-side phase profile: where the simulator
+// process itself spends wall time, sampled every SampleEvery ticks.
+func writeHostPhases(b *strings.Builder, hp *censusHost) {
+	fmt.Fprintf(b, "<p class=\"cap\">Host phase profile (wall time, sampled every %d ticks — not simulated time, excluded from determinism gates):</p>\n", hp.SampleEvery)
+	perTick := func(ns, ticks uint64) string {
+		if ticks == 0 {
+			return "–"
+		}
+		return fnum(float64(ns)/float64(ticks)) + " ns"
+	}
+	writeTiles(b, []tile{
+		{"core tick (mean)", perTick(hp.CoreNS, hp.CoreTicks)},
+		{"mem tick (mean)", perTick(hp.MemNS, hp.MemTicks)},
+		{"probe/publish (mean)", perTick(hp.ProbeNS, hp.ProbeTicks)},
+	})
+	if len(hp.Workers) == 0 {
+		return
+	}
+	// Shard phase strip: each worker's sampled dispatch time split into busy
+	// (ticking its partitions) and barrier wait (dispatch wall minus busy).
+	rows := make([]stackRow, 0, len(hp.Workers))
+	var trows [][]string
+	for _, w := range hp.Workers {
+		rows = append(rows, stackRow{
+			Label: fmt.Sprintf("worker %d", w.Worker),
+			Segs: []stackSeg{
+				{Name: "busy", Value: float64(w.BusyNS) / 1e6, Class: "s1"},
+				{Name: "barrier wait", Value: float64(w.BarrierNS) / 1e6, Class: "s2"},
+			},
+		})
+		trows = append(trows, []string{
+			fmt.Sprintf("worker %d", w.Worker), fnum(float64(w.Dispatches)),
+			fnum(float64(w.BusyNS) / 1e6), fnum(float64(w.BarrierNS) / 1e6),
+			fmt.Sprintf("%.0f%%", 100*w.BusyFrac),
+		})
+	}
+	b.WriteString(`<div class="legend"><span><i class="s1"></i>busy</span><span><i class="s2"></i>barrier wait</span></div>` + "\n")
+	mini(b, "shard worker phases (ms across sampled dispatches)", stackedBar(rows))
+	writeTable(b, []string{"worker", "dispatches", "busy (ms)", "barrier (ms)", "busy"}, trows)
 }
 
 // --- two-document comparison ------------------------------------------------

@@ -200,6 +200,100 @@ type telemetry struct {
 	Audit       *auditSummary   `json:"audit"`
 	Quality     *qualitySummary `json:"quality"`
 	Fault       *faultSummary   `json:"fault"`
+	Census      *censusSummary  `json:"census"`
+}
+
+// censusSummary mirrors obs.CensusSummary: the -census cycle census with its
+// stall-cause decomposition, bank state residency, skip-ahead opportunity
+// profile, and host-side phase timings.
+type censusSummary struct {
+	Requests         uint64        `json:"requests"`
+	LatencyCycles    uint64        `json:"latency_cycles"`
+	AttributedCycles uint64        `json:"attributed_cycles"`
+	Stalls           []censusStall `json:"stalls"`
+
+	BankCycles uint64        `json:"bank_cycles"`
+	Residency  []censusState `json:"residency"`
+
+	PartCycles    uint64  `json:"partition_cycles"`
+	Advancing     uint64  `json:"advancing"`
+	TimingWait    uint64  `json:"timing_wait"`
+	Idle          uint64  `json:"idle"`
+	SkippableFrac float64 `json:"skippable_frac"`
+
+	GapCount uint64      `json:"gap_count"`
+	GapMean  float64     `json:"gap_mean"`
+	GapP50   uint64      `json:"gap_p50"`
+	GapP90   uint64      `json:"gap_p90"`
+	GapP99   uint64      `json:"gap_p99"`
+	GapMax   uint64      `json:"gap_max"`
+	GapHist  []errBucket `json:"gap_hist"`
+
+	Ingress  *censusIngress  `json:"ingress"`
+	Channels []censusChannel `json:"channels"`
+	Host     *censusHost     `json:"host"`
+
+	InvariantError string `json:"invariant_error"`
+}
+
+type censusStall struct {
+	Cause    string  `json:"cause"`
+	Cycles   uint64  `json:"cycles"`
+	Share    float64 `json:"share"`
+	Requests uint64  `json:"requests"`
+	Mean     float64 `json:"mean"`
+	P99      uint64  `json:"p99"`
+	Max      uint64  `json:"max"`
+}
+
+type censusState struct {
+	State  string  `json:"state"`
+	Cycles uint64  `json:"cycles"`
+	Share  float64 `json:"share"`
+}
+
+type censusIngress struct {
+	MSHRFull   uint64 `json:"mshr_full"`
+	MergeLimit uint64 `json:"merge_limit"`
+	QueueFull  uint64 `json:"queue_full"`
+}
+
+type censusChannel struct {
+	Channel       int               `json:"channel"`
+	Requests      uint64            `json:"requests"`
+	LatencyCycles uint64            `json:"latency_cycles"`
+	SkippableFrac float64           `json:"skippable_frac"`
+	StallCycles   map[string]uint64 `json:"stall_cycles"`
+	Banks         []censusBank      `json:"banks"`
+}
+
+type censusBank struct {
+	Bank        int    `json:"bank"`
+	Serving     uint64 `json:"serving"`
+	DMSHeld     uint64 `json:"dms_held"`
+	TimingWait  uint64 `json:"timing_wait"`
+	OpenIdle    uint64 `json:"open_idle"`
+	Precharging uint64 `json:"precharging"`
+	Idle        uint64 `json:"idle"`
+}
+
+type censusHost struct {
+	SampleEvery uint64         `json:"sample_every"`
+	CoreTicks   uint64         `json:"core_ticks_sampled"`
+	CoreNS      uint64         `json:"core_ns"`
+	MemTicks    uint64         `json:"mem_ticks_sampled"`
+	MemNS       uint64         `json:"mem_ns"`
+	ProbeTicks  uint64         `json:"probe_ticks_sampled"`
+	ProbeNS     uint64         `json:"probe_ns"`
+	Workers     []censusWorker `json:"workers"`
+}
+
+type censusWorker struct {
+	Worker     int     `json:"worker"`
+	Dispatches uint64  `json:"dispatches"`
+	BusyNS     uint64  `json:"busy_ns"`
+	BarrierNS  uint64  `json:"barrier_ns"`
+	BusyFrac   float64 `json:"busy_frac"`
 }
 
 type faultSummary struct {

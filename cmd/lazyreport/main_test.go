@@ -304,3 +304,131 @@ func TestTimelineChart(t *testing.T) {
 		t.Error("timeline rendered a box on a lane beyond the worker count")
 	}
 }
+
+const sampleCensusBlock = `{
+	"requests": 65692, "latency_cycles": 23500706, "attributed_cycles": 23500706,
+	"stalls": [
+		{"cause": "queued", "cycles": 14000000, "share": 0.596, "requests": 60000, "mean": 233, "p99": 900, "max": 2200},
+		{"cause": "dms_hold", "cycles": 6000000, "share": 0.255, "requests": 9000, "mean": 666, "p99": 1100, "max": 1400},
+		{"cause": "trcd", "cycles": 1500000, "share": 0.064, "requests": 30000, "mean": 50, "p99": 90, "max": 120},
+		{"cause": "cas", "cycles": 2000706, "share": 0.085, "requests": 65692, "mean": 30, "p99": 31, "max": 31}
+	],
+	"bank_cycles": 265602,
+	"residency": [
+		{"state": "serving", "cycles": 800000, "share": 0.38},
+		{"state": "dms_held", "cycles": 400000, "share": 0.19},
+		{"state": "timing_wait", "cycles": 500000, "share": 0.23},
+		{"state": "open_idle", "cycles": 200000, "share": 0.09},
+		{"state": "precharging", "cycles": 100000, "share": 0.05},
+		{"state": "idle", "cycles": 124816, "share": 0.06}
+	],
+	"partition_cycles": 265602, "advancing": 171955, "timing_wait": 87535, "idle": 6112,
+	"skippable_frac": 0.3526,
+	"gap_count": 44688, "gap_mean": 2.1, "gap_p50": 1, "gap_p90": 3, "gap_p99": 9, "gap_max": 423,
+	"gap_hist": [{"lo": 1, "hi": 2, "count": 22916}, {"lo": 2, "hi": 3, "count": 11773}],
+	"ingress": {"mshr_full": 1200, "merge_limit": 40, "queue_full": 7},
+	"channels": [
+		{"channel": 0, "requests": 32846, "latency_cycles": 11750353, "skippable_frac": 0.35,
+		 "stall_cycles": {"queued": 7000000, "dms_hold": 3000000, "trcd": 750000, "cas": 1000353},
+		 "banks": [
+			{"bank": 0, "serving": 50000, "dms_held": 25000, "timing_wait": 31000,
+			 "open_idle": 12000, "precharging": 6000, "idle": 8801},
+			{"bank": 1, "serving": 49000, "dms_held": 26000, "timing_wait": 32000,
+			 "open_idle": 12500, "precharging": 6200, "idle": 7101}
+		 ]}
+	],
+	"host": {
+		"sample_every": 64, "core_ticks_sampled": 4096, "core_ns": 8200000,
+		"mem_ticks_sampled": 4150, "mem_ns": 9300000,
+		"probe_ticks_sampled": 4150, "probe_ns": 510000,
+		"workers": [
+			{"worker": 0, "dispatches": 4150, "busy_ns": 6100000, "barrier_ns": 3200000, "busy_frac": 0.65},
+			{"worker": 1, "dispatches": 4150, "busy_ns": 5900000, "barrier_ns": 3400000, "busy_frac": 0.63}
+		]
+	}
+}`
+
+// TestReportCensusSection: a -census document renders the cycle-census
+// panels — stall-cause stacked bars, the bank-residency heatmap, the
+// skippable-fraction tile, and the shard phase strip — and stays
+// self-contained.
+func TestReportCensusSection(t *testing.T) {
+	dir := t.TempDir()
+	doc := strings.Replace(sampleDoc, `"telemetry": {`,
+		`"telemetry": {"census": `+sampleCensusBlock+",", 1)
+	p := filepath.Join(dir, "census.json")
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "census.html")
+	var stderr bytes.Buffer
+	if code := run([]string{p, "-o", out}, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(raw)
+	for _, want := range []string{
+		"Cycle census", "stall-cause decomposition", "bank state residency",
+		"skippable fraction", "35.3%", "partition-cycle census",
+		"next-event gap histogram", "dms_hold", "ch0·b1",
+		"Ingress backpressure", "Host phase profile", "shard worker phases",
+		"barrier wait",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("census report missing %q", want)
+		}
+	}
+	if strings.Contains(page, "invariant violation") {
+		t.Error("healthy census rendered an invariant warning")
+	}
+	for _, banned := range []string{"http://", "https://", "<script", "<link"} {
+		if strings.Contains(page, banned) {
+			t.Errorf("census report references external content: found %q", banned)
+		}
+	}
+
+	// A violated invariant must surface loudly in the page.
+	bad := strings.Replace(doc, `"attributed_cycles": 23500706,`,
+		`"attributed_cycles": 23500705, "invariant_error": "attributed 23500705 != latency 23500706",`, 1)
+	pb := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(pb, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outB := filepath.Join(dir, "bad.html")
+	if code := run([]string{pb, "-o", outB}, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	rawB, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rawB), "Σ-invariant violation") {
+		t.Error("broken census did not render the invariant warning")
+	}
+}
+
+// TestStackedBar: segments render proportionally with tooltips; empty input
+// renders nothing.
+func TestStackedBar(t *testing.T) {
+	if got := stackedBar(nil); got != "" {
+		t.Errorf("empty stacked bar rendered %q", got)
+	}
+	svg := stackedBar([]stackRow{
+		{Label: "machine", Segs: []stackSeg{
+			{Name: "queued", Value: 60, Class: "q1"},
+			{Name: "trcd", Value: 40, Class: "q5"},
+			{Name: "zero", Value: 0, Class: "q9"},
+		}},
+	})
+	for _, want := range []string{"machine", "queued", "trcd", "60.0%", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("stacked bar missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "zero") {
+		t.Error("zero-width segment rendered")
+	}
+}

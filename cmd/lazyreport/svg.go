@@ -98,6 +98,77 @@ func barChart(rows []barRow) string {
 	return b.String()
 }
 
+// --- stacked horizontal bars ------------------------------------------------
+
+// stackSeg is one segment of a stacked bar.
+type stackSeg struct {
+	Name  string
+	Value float64
+	Class string // fill class: s1..s3 or q0..q11
+}
+
+// stackRow is one stacked bar: its segments render left to right in order,
+// scaled against the largest row total so rows stay comparable.
+type stackRow struct {
+	Label string
+	Segs  []stackSeg
+}
+
+func stackedBar(rows []stackRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	const (
+		labelW = 90.0
+		plotW  = 530.0
+		valW   = 80.0
+		rowH   = 26.0
+		barH   = 16.0
+	)
+	maxT := 0.0
+	for _, r := range rows {
+		t := 0.0
+		for _, s := range r.Segs {
+			t += s.Value
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if maxT == 0 {
+		return ""
+	}
+	w := labelW + plotW + valW
+	h := rowH * float64(len(rows))
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %g %g" width="%g" height="%g" role="img">`, w, h, w, h)
+	fmt.Fprintf(&b, `<line class="axis" x1="%g" y1="0" x2="%g" y2="%g"/>`, labelW, labelW, h)
+	for i, r := range rows {
+		y := float64(i) * rowH
+		fmt.Fprintf(&b, `<text class="lbl" x="%g" y="%g" text-anchor="end">%s</text>`,
+			labelW-8, y+rowH/2+4, esc(r.Label))
+		total := 0.0
+		for _, s := range r.Segs {
+			total += s.Value
+		}
+		x := labelW
+		for _, s := range r.Segs {
+			if s.Value <= 0 {
+				continue
+			}
+			sw := s.Value / maxT * plotW
+			tip := fmt.Sprintf("%s · %s: %s (%.1f%%)", r.Label, s.Name, fnum(s.Value), 100*s.Value/total)
+			fmt.Fprintf(&b, `<rect class="%s" x="%g" y="%g" width="%g" height="%g"><title>%s</title></rect>`,
+				s.Class, x, y+(rowH-barH)/2, sw, barH, esc(tip))
+			x += sw
+		}
+		fmt.Fprintf(&b, `<text class="val" x="%g" y="%g">%s</text>`,
+			x+6, y+rowH/2+4, fnum(total))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
 // --- line chart -------------------------------------------------------------
 
 type pt struct{ X, Y float64 }

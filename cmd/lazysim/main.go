@@ -41,6 +41,12 @@
 //	-audit-log FILE  write the retained decisions as JSONL (implies -audit)
 //	-quality         score every AMS-dropped line against ground truth
 //	                 (error histograms + worst offenders in the telemetry)
+//	-census          collect the cycle census: exact stall-cause attribution
+//	                 (every waiting cycle charged to one cause), bank
+//	                 state-residency, and the skip-ahead opportunity profile
+//	                 (telemetry.census in -json, census line in the text block)
+//	-census-log FILE write the census summary + per-channel detail as JSONL
+//	                 (implies -census)
 //	-pprof ADDR      serve net/http/pprof on ADDR (e.g. localhost:6060)
 //	-cpuprofile FILE write a CPU profile of the run
 //
@@ -65,16 +71,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"lazydram/internal/approx"
 	"lazydram/internal/buildinfo"
+	"lazydram/internal/cliflags"
 	"lazydram/internal/energy"
 	"lazydram/internal/exp"
 	"lazydram/internal/mc"
@@ -86,20 +89,18 @@ import (
 
 func main() {
 	var (
-		app    = flag.String("app", "GEMM", "application name (see -list)")
-		scheme = flag.String("scheme", "baseline", "scheduling scheme")
-		seed   = flag.Int64("seed", 1, "input RNG seed")
-		queue  = flag.Int("queue", 128, "pending queue size")
-		delay  = flag.Int("delay", 128, "static DMS delay (cycles)")
+		app     = flag.String("app", "GEMM", "application name (see -list)")
+		scheme  = flag.String("scheme", "baseline", "scheduling scheme")
+		seed    = flag.Int64("seed", 1, "input RNG seed")
+		queue   = flag.Int("queue", 128, "pending queue size")
+		delay   = flag.Int("delay", 128, "static DMS delay (cycles)")
 		thrbl   = flag.Int("thrbl", 8, "static AMS Th_RBL")
 		list    = flag.Bool("list", false, "list applications and exit")
 		version = flag.Bool("version", false, "print build provenance and exit")
 
-		shard        = flag.Bool("shard", false, "tick memory partitions on a worker pool (bit-identical to sequential)")
-		shardWorkers = flag.Int("shard-workers", 0, "worker-pool size for -shard (0: GOMAXPROCS, capped at partition count)")
-		sweep        = flag.String("sweep", "", "comma-separated scheme list: run every scheme for every -app concurrently and print one row per run")
-		workers      = flag.Int("workers", 0, "concurrent simulations in -sweep mode (0: GOMAXPROCS)")
-		runlog       = flag.String("runlog", "", "in -sweep mode, write PREFIX.trace.json (Chrome trace) and PREFIX.events.jsonl (run-lifecycle events)")
+		sweep   = flag.String("sweep", "", "comma-separated scheme list: run every scheme for every -app concurrently and print one row per run")
+		workers = flag.Int("workers", 0, "concurrent simulations in -sweep mode (0: GOMAXPROCS)")
+		runlog  = flag.String("runlog", "", "in -sweep mode, write PREFIX.trace.json (Chrome trace) and PREFIX.events.jsonl (run-lifecycle events)")
 
 		jsonOut  = flag.Bool("json", false, "emit one JSON document with stats and telemetry")
 		sampleN  = flag.Uint64("sample-every", 1024, "time-series sampling interval in memory cycles (0 disables)")
@@ -107,26 +108,26 @@ func main() {
 		traceCap = flag.Int("trace-cap", 1<<18, "DRAM command trace ring capacity (commands retained)")
 		golden   = flag.Bool("golden", false, "force the golden functional run even for exact schemes")
 
-		digestEvery = flag.Uint64("digest-every", 0, "sample the state-digest flight recorder every N memory cycles (0 disables)")
-		digestCap   = flag.Int("digest-cap", 0, "digest record ring capacity (0: default)")
-		digestLog   = flag.String("digest-log", "", "write the digest record stream as JSONL to this file (implies -digest-every at its default when unset)")
-
-		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics (Prometheus) and /vars (expvar JSON) on this address during the run")
-		topBanks    = flag.Int("top-banks", 8, "number of hottest banks in the -json summary")
+		topBanks = flag.Int("top-banks", 8, "number of hottest banks in the -json summary")
 
 		audit    = flag.Bool("audit", false, "collect the scheduler decision audit (reason-code counters, decision ring, Dyn adaptation trace)")
 		auditCap = flag.Int("audit-cap", 1<<16, "decision-audit ring capacity (entries retained)")
 		auditLog = flag.String("audit-log", "", "write the retained decision-ring entries as JSONL to this file (implies -audit)")
 		quality  = flag.Bool("quality", false, "score every AMS-dropped line against ground truth (error histograms + worst offenders)")
 
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		census    = flag.Bool("census", false, "collect the cycle census (exact stall-cause attribution, bank state residency, skip-ahead opportunity profile)")
+		censusLog = flag.String("census-log", "", "write the census summary and per-channel detail as JSONL to this file (implies -census)")
 
 		faultOn        = flag.Bool("fault", false, "enable the deterministic DRAM error model")
 		faultBER       = flag.Float64("fault-ber", 0, "bus transient bit-error rate per read burst")
 		faultDensity   = flag.Float64("fault-weak-density", 0, "fraction of each row's bits that are weak cells")
 		faultSeed      = flag.Int64("fault-seed", 0, "fault-model RNG seed (0: reuse -seed)")
 		faultRetention = flag.Uint64("fault-retention", 0, "open-row age (memory cycles) past which reads suffer retention flips (0: default)")
+
+		shard   = cliflags.AddShard(flag.CommandLine)
+		digest  = cliflags.AddDigest(flag.CommandLine)
+		metrics = cliflags.AddMetrics(flag.CommandLine)
+		prof    = cliflags.AddProfiling(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -142,48 +143,27 @@ func main() {
 		return
 	}
 
-	if *pprofAddr != "" {
-		// Bind before the run starts so a bad address fails fast instead of
-		// silently profiling nothing.
-		ln, err := net.Listen("tcp", *pprofAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pprof:", err)
-			os.Exit(1)
-		}
-		go func() {
-			if err := http.Serve(ln, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof:", err)
-			}
-		}()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
-	}
+	defer stopProf()
 
 	if *sweep != "" {
 		so := sweepOptions{
 			Seed: *seed, Queue: *queue, Delay: *delay, ThRBL: *thrbl,
-			Workers: *workers, Shard: *shard,
+			Workers: *workers, Shard: shard.Enabled, ShardWorkers: shard.Workers,
 			JSON: *jsonOut, RunLogPrefix: *runlog,
 		}
-		if *metricsAddr != "" {
+		if metrics.Addr != "" {
 			reg := obs.NewRegistry()
-			srv, addr, err := serveMetrics(*metricsAddr, reg)
+			srv, _, err := metrics.Serve(reg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics and /vars\n", addr)
 			so.Metrics = reg
 		}
 		if fi, err := os.Stderr.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
@@ -208,12 +188,16 @@ func main() {
 	}
 	cfg := sim.DefaultConfig()
 	cfg.MC.QueueSize = *queue
-	cfg.ShardPartitions = *shard
-	cfg.ShardWorkers = *shardWorkers
+	cfg.ShardPartitions = shard.Enabled
+	cfg.ShardWorkers = shard.Workers
 	cfg.Obs = obs.Options{
 		Latency:     *jsonOut,
 		SampleEvery: *sampleN,
 	}
+	if *censusLog != "" {
+		*census = true
+	}
+	cfg.Obs.Census = *census
 	if *traceOut != "" {
 		cfg.Obs.TraceCapacity = *traceCap
 	}
@@ -221,11 +205,9 @@ func main() {
 		cfg.Obs.AuditCapacity = *auditCap
 	}
 	cfg.Obs.Quality = *quality
-	if *digestLog != "" && *digestEvery == 0 {
-		*digestEvery = obs.DefaultDigestEvery
-	}
-	cfg.Obs.DigestEvery = *digestEvery
-	cfg.Obs.DigestCapacity = *digestCap
+	digest.Normalize()
+	cfg.Obs.DigestEvery = digest.Every
+	cfg.Obs.DigestCapacity = digest.Cap
 	if *faultOn {
 		cfg.Fault.Enabled = true
 		cfg.Fault.BusBER = *faultBER
@@ -235,16 +217,15 @@ func main() {
 			cfg.Fault.RetentionThreshold = *faultRetention
 		}
 	}
-	if *metricsAddr != "" {
+	if metrics.Addr != "" {
 		reg := obs.NewRegistry()
 		cfg.Obs.Metrics = reg
-		srv, addr, err := serveMetrics(*metricsAddr, reg)
+		srv, _, err := metrics.Serve(reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics and /vars\n", addr)
 	}
 
 	start := time.Now()
@@ -277,8 +258,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *digestLog != "" && res.Digest != nil {
-		if err := writeDigestLog(res.Digest, *digestLog); err != nil {
+	if digest.Log != "" && res.Digest != nil {
+		if err := writeDigestLog(res.Digest, digest.Log); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *censusLog != "" && res.Telemetry != nil && res.Telemetry.Census != nil {
+		if err := writeCensusLog(res.Telemetry.Census, *censusLog); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -302,6 +289,9 @@ func main() {
 		fmt.Printf("  quality: %d dropped lines, mean rel err %.4g (p99 %.4g, max %.4g)\n",
 			q.Lines, q.MeanRelError, q.RelP99, q.MaxRelError)
 	}
+	if res.Telemetry != nil && res.Telemetry.Census != nil {
+		printCensus(res.Telemetry.Census)
+	}
 	if res.Telemetry != nil && res.Telemetry.Fault != nil {
 		f := res.Telemetry.Fault
 		fmt.Printf("  fault: %d/%d corrupted reads, flips act=%d ret=%d bus=%d (digest %016x)\n",
@@ -321,24 +311,59 @@ func main() {
 	fmt.Printf("  wall: %v\n", wall.Round(time.Millisecond))
 }
 
-// serveMetrics starts an HTTP server exposing the registry: Prometheus text
-// exposition at /metrics and expvar-style JSON at /vars. It returns the
-// bound address so callers (and tests) can use ":0".
-func serveMetrics(addr string, reg *obs.Registry) (*http.Server, string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, "", fmt.Errorf("metrics: %w", err)
-	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/vars", reg.ExpvarHandler())
-	srv := &http.Server{Handler: mux}
-	go func() {
-		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, "metrics:", err)
+// printCensus renders the census stat-block lines: the headline skippable
+// fraction, the dominant stall causes, and ingress backpressure if any.
+func printCensus(c *obs.CensusSummary) {
+	fmt.Printf("  census: %d reqs, %d attributed cycles, skippable %.1f%% (gap p50/p99 %d/%d, max %d)\n",
+		c.Requests, c.AttributedCycles, 100*c.SkippableFrac, c.GapP50, c.GapP99, c.GapMax)
+	if len(c.Stalls) > 0 {
+		fmt.Printf("  stalls:")
+		shown := 0
+		for _, s := range c.Stalls {
+			if s.Share < 0.01 && shown >= 3 {
+				continue
+			}
+			fmt.Printf(" %s=%.0f%%", s.Cause, 100*s.Share)
+			shown++
 		}
-	}()
-	return srv, ln.Addr().String(), nil
+		fmt.Println()
+	}
+	if in := c.Ingress; in != nil {
+		fmt.Printf("  ingress stalls: mshr-full %d, merge-limit %d, queue-full %d\n",
+			in.MSHRFull, in.MergeLimit, in.QueueFull)
+	}
+	if c.InvariantError != "" {
+		fmt.Printf("  census INVARIANT VIOLATION: %s\n", c.InvariantError)
+	}
+}
+
+// writeCensusLog writes the census as JSONL: one machine-level summary line
+// (type "summary", channel detail stripped), then one line per channel
+// (type "channel") with per-bank residency rows.
+func writeCensusLog(c *obs.CensusSummary, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	head := *c
+	head.Channels = nil
+	if err := enc.Encode(struct {
+		Type string `json:"type"`
+		*obs.CensusSummary
+	}{"summary", &head}); err != nil {
+		return err
+	}
+	for i := range c.Channels {
+		if err := enc.Encode(struct {
+			Type string `json:"type"`
+			obs.ChannelCensus
+		}{"channel", c.Channels[i]}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeDigestLog(d *obs.DigestLog, path string) error {
@@ -381,12 +406,12 @@ type metaBlock struct {
 // totals as the text stat block, plus the telemetry digest.
 type report struct {
 	Meta         metaBlock `json:"meta"`
-	App          string  `json:"app"`
-	Scheme       string  `json:"scheme"`
-	Seed         int64   `json:"seed"`
-	CoreCycles   uint64  `json:"core_cycles"`
-	Instructions uint64  `json:"instructions"`
-	IPC          float64 `json:"ipc"`
+	App          string    `json:"app"`
+	Scheme       string    `json:"scheme"`
+	Seed         int64     `json:"seed"`
+	CoreCycles   uint64    `json:"core_cycles"`
+	Instructions uint64    `json:"instructions"`
+	IPC          float64   `json:"ipc"`
 
 	Activations uint64  `json:"activations"`
 	Reads       uint64  `json:"reads"`
@@ -479,6 +504,7 @@ type sweepOptions struct {
 	Delay, ThRBL int
 	Workers      int
 	Shard        bool
+	ShardWorkers int
 
 	// JSON switches the output to one sweepDoc document (rows + sweep
 	// summary block) instead of the text table.
@@ -502,6 +528,11 @@ type sweepRow struct {
 	RowEnergyNJ float64 `json:"row_energy_nj"`
 	AppError    float64 `json:"app_error"`
 	Coverage    float64 `json:"coverage"`
+	// WallSeconds/CyclesPerSec report the run's execution time even without
+	// -runlog (deduped rows share the executing run's time). Wall-clock is
+	// nondeterministic: CI's sweep gates -ignore these fields.
+	WallSeconds  float64 `json:"wall_seconds"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
 }
 
 // sweepDoc is the -sweep -json document: per-run rows in declaration order
@@ -574,6 +605,7 @@ func runSweep(w io.Writer, appList, schemeList string, o sweepOptions) error {
 		Apps:            apps,
 		Workers:         o.Workers,
 		ShardPartitions: o.Shard,
+		ShardWorkers:    o.ShardWorkers,
 		RunLog:          rl,
 	})
 	v := exp.Variant{QueueSize: o.Queue}
@@ -599,11 +631,16 @@ func runSweep(w io.Writer, appList, schemeList string, o sweepOptions) error {
 			return err
 		}
 		if o.JSON {
-			rows = append(rows, sweepRow{
+			row := sweepRow{
 				App: p.App, Scheme: p.Scheme.Name(), IPC: res.Run.IPC(),
 				Activations: res.Run.Mem.Activations, RowEnergyNJ: res.Run.RowEnergy,
 				AppError: res.Run.AppError, Coverage: res.Run.Mem.Coverage(),
-			})
+			}
+			if secs, ok := r.Timing(p.App, p.Scheme, p.Variant); ok && secs > 0 {
+				row.WallSeconds = secs
+				row.CyclesPerSec = float64(res.Run.Mem.Cycles) / secs
+			}
+			rows = append(rows, row)
 			continue
 		}
 		fmt.Fprintf(w, "%-14s %-22s %-9.4f %-12d %-14.0f %-10.4f %-10.4f\n",

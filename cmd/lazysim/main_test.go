@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"lazydram/internal/cliflags"
 	"lazydram/internal/mc"
 	"lazydram/internal/obs"
 	"lazydram/internal/sim"
@@ -66,7 +67,7 @@ func TestObservabilityBindFailuresExitNonzero(t *testing.T) {
 // scrape /metrics and /vars over HTTP while and after it runs.
 func TestMetricsServerEndToEnd(t *testing.T) {
 	reg := obs.NewRegistry()
-	srv, addr, err := serveMetrics("127.0.0.1:0", reg)
+	srv, addr, err := cliflags.ServeMetrics("127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}

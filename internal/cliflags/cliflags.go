@@ -1,0 +1,153 @@
+// Package cliflags registers the flag groups shared by the lazydram
+// command-line tools (lazysim, experiments), so the tools agree on flag
+// names, defaults, and setup behavior by construction instead of by
+// copy-paste. Each Add* helper registers its group on the given FlagSet
+// under the exact names the tools have always used; the returned holder's
+// methods perform the group's runtime setup after Parse.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers served by Profiling.Start
+	"os"
+	"runtime/pprof"
+
+	"lazydram/internal/obs"
+)
+
+// Profiling is the -pprof / -cpuprofile group.
+type Profiling struct {
+	PprofAddr  string
+	CPUProfile string
+}
+
+// AddProfiling registers the profiling flags on fs.
+func AddProfiling(fs *flag.FlagSet) *Profiling {
+	p := &Profiling{}
+	fs.StringVar(&p.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	return p
+}
+
+// Start binds the pprof listener and begins the CPU profile. The listener is
+// bound before the run starts so a bad address fails fast instead of
+// silently profiling nothing; errors are returned for the caller to report
+// and exit non-zero on. The returned stop function flushes the CPU profile
+// and is safe to call when nothing was started.
+func (p *Profiling) Start() (stop func(), err error) {
+	stop = func() {}
+	if p.PprofAddr != "" {
+		ln, err := net.Listen("tcp", p.PprofAddr)
+		if err != nil {
+			return stop, fmt.Errorf("pprof: %w", err)
+		}
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return stop, nil
+}
+
+// Metrics is the -metrics-addr group.
+type Metrics struct {
+	Addr string
+}
+
+// AddMetrics registers the live-metrics flag on fs.
+func AddMetrics(fs *flag.FlagSet) *Metrics {
+	m := &Metrics{}
+	fs.StringVar(&m.Addr, "metrics-addr", "", "serve live /metrics (Prometheus) and /vars (expvar JSON) on this address during the run")
+	return m
+}
+
+// Serve starts the registry server when -metrics-addr was given and logs the
+// bound address to stderr; it returns (nil, "", nil) when the flag is unset.
+// Callers own srv.Close.
+func (m *Metrics) Serve(reg *obs.Registry) (*http.Server, string, error) {
+	if m.Addr == "" {
+		return nil, "", nil
+	}
+	srv, addr, err := ServeMetrics(m.Addr, reg)
+	if err != nil {
+		return nil, "", err
+	}
+	fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics and /vars\n", addr)
+	return srv, addr, nil
+}
+
+// ServeMetrics starts an HTTP server exposing the registry: Prometheus text
+// exposition at /metrics and expvar-style JSON at /vars. It returns the
+// bound address so callers (and tests) can use ":0".
+func ServeMetrics(addr string, reg *obs.Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/vars", reg.ExpvarHandler())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
+	}()
+	return srv, ln.Addr().String(), nil
+}
+
+// Shard is the -shard / -shard-workers group.
+type Shard struct {
+	Enabled bool
+	Workers int
+}
+
+// AddShard registers the partition-sharding flags on fs.
+func AddShard(fs *flag.FlagSet) *Shard {
+	s := &Shard{}
+	fs.BoolVar(&s.Enabled, "shard", false, "tick memory partitions on a worker pool (bit-identical to sequential)")
+	fs.IntVar(&s.Workers, "shard-workers", 0, "worker-pool size for -shard (0: GOMAXPROCS, capped at partition count)")
+	return s
+}
+
+// Digest is the -digest-every / -digest-cap / -digest-log group.
+type Digest struct {
+	Every uint64
+	Cap   int
+	Log   string
+}
+
+// AddDigest registers the state-digest flight-recorder flags on fs.
+func AddDigest(fs *flag.FlagSet) *Digest {
+	d := &Digest{}
+	fs.Uint64Var(&d.Every, "digest-every", 0, "sample the state-digest flight recorder every N memory cycles (0 disables)")
+	fs.IntVar(&d.Cap, "digest-cap", 0, "digest record ring capacity (0: default)")
+	fs.StringVar(&d.Log, "digest-log", "", "write the digest record stream as JSONL to this file (implies -digest-every at its default when unset)")
+	return d
+}
+
+// Normalize applies the -digest-log implication: asking for the log stream
+// without an interval enables sampling at the default interval.
+func (d *Digest) Normalize() {
+	if d.Log != "" && d.Every == 0 {
+		d.Every = obs.DefaultDigestEvery
+	}
+}

@@ -230,6 +230,68 @@ func (c *Channel) OpenAge(b int, now uint64) uint64 {
 	return now - bk.openedAt
 }
 
+// ActBankReady reports whether bank b's own activate timing (tRP/tRC
+// recovery, refresh) allows an ACT at cycle now, ignoring the channel-level
+// tRRD constraint. The cycle census uses it to attribute an ACT block to the
+// bank (tRP) versus the channel (tRRD).
+func (c *Channel) ActBankReady(b int, now uint64) bool {
+	return now >= c.banks[b].nextAct
+}
+
+// ColBankReady reports whether bank b's own column timing (tRCD after ACT,
+// same-bank read/write recovery) allows a column command at cycle now,
+// ignoring the channel-level bus constraints. The cycle census uses it to
+// attribute a column block to the bank (tRCD) versus the bus (turnaround).
+func (c *Channel) ColBankReady(b int, write bool, now uint64) bool {
+	bk := &c.banks[b]
+	if write {
+		return now >= bk.nextWrite
+	}
+	return now >= bk.nextRead
+}
+
+// ActReadyAt returns the earliest cycle bank b's own activate timing (tRP/tRC
+// recovery, refresh) allows an ACT. The cycle census uses the ready-at
+// accessors as span horizons: every timestamp below only ever moves later, and
+// only via commands the census observes, so a classification cached "until
+// ready-at" cannot silently become stale.
+func (c *Channel) ActReadyAt(b int) uint64 { return c.banks[b].nextAct }
+
+// ColReadyAt returns the earliest cycle bank b's own column timing allows a
+// read (or write) column command.
+func (c *Channel) ColReadyAt(b int, write bool) uint64 {
+	if write {
+		return c.banks[b].nextWrite
+	}
+	return c.banks[b].nextRead
+}
+
+// PreReadyAt returns the earliest cycle bank b's open row may be precharged
+// (tRAS/tWR/tRTP recovery).
+func (c *Channel) PreReadyAt(b int) uint64 { return c.banks[b].nextPre }
+
+// ActAnyReadyAt returns the earliest cycle the channel-level ACT-to-ACT
+// spacing (tRRD) allows an ACT to any bank.
+func (c *Channel) ActAnyReadyAt() uint64 { return c.nextActAny }
+
+// BusReadyAt returns the earliest cycle the channel-level column-bus
+// constraints (tCCD spacing, read/write turnaround, same-bank-group tCCDL)
+// could allow a column command to bank b under the bus state now in force;
+// commands issued later can only move the horizon further out.
+func (c *Channel) BusReadyAt(b int, write bool) uint64 {
+	at := c.nextColRead
+	if write {
+		at = c.nextColWrite
+	}
+	t := c.cfg.Timing
+	if t.CCDL != 0 && c.lastColBank >= 0 && c.bankGroup(b) == c.bankGroup(c.lastColBank) {
+		if g := c.lastColCycle + t.CCDL; g > at {
+			at = g
+		}
+	}
+	return at
+}
+
 // CanActivate reports whether an ACT for bank b may issue at cycle now.
 // The bank must be precharged (closed).
 func (c *Channel) CanActivate(b int, now uint64) bool {

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"lazydram/internal/approx"
 	"lazydram/internal/mc"
@@ -38,6 +39,10 @@ type Options struct {
 	// per-cycle barrier. Bit-identical to the sequential path by
 	// construction; most useful when Workers is small and cores are idle.
 	ShardPartitions bool
+	// ShardWorkers sizes each sharded simulation's partition worker pool
+	// (sim.Config.ShardWorkers; 0 picks GOMAXPROCS, capped at the partition
+	// count). Only consulted when ShardPartitions is set.
+	ShardWorkers int
 	// RunLog, when non-nil, records a lifecycle span for every Run call
 	// (queueing, worker slot, wall-clock, dedup joins) — see obs.RunLog.
 	// Purely observational: it never changes scheduling or results.
@@ -77,6 +82,11 @@ type runEntry struct {
 	done chan struct{}
 	res  *sim.Result
 	err  error
+
+	// wall is the wall-clock sim.Simulate spent executing this run (golden
+	// resolution and queueing excluded) — the source for sweep-row
+	// wall_seconds/cycles_per_sec without needing a run log.
+	wall time.Duration
 
 	// span/prefetched feed the run log: joiners point their dedup-joined
 	// spans at the executing span, and flag whether a prefetch plan (rather
@@ -182,7 +192,7 @@ func (r *Runner) run(app string, scheme mc.Scheme, v Variant, origin string) (*s
 	r.runs[key] = e
 	r.mu.Unlock()
 
-	e.res, e.err = r.simulate(sp, app, scheme, v)
+	e.res, e.wall, e.err = r.simulate(sp, app, scheme, v)
 	if e.err != nil {
 		// Uncache before waking waiters so a retry re-executes. Waiters that
 		// already joined this flight still observe the error; brand-new Run
@@ -200,14 +210,15 @@ func (r *Runner) run(app string, scheme mc.Scheme, v Variant, origin string) (*s
 // simulate executes one run under the worker semaphore and fully finalizes
 // the span (Done or Fail) before releasing the worker slot, so per-slot
 // spans never overlap in time.
-func (r *Runner) simulate(sp *obs.RunSpan, app string, scheme mc.Scheme, v Variant) (*sim.Result, error) {
+func (r *Runner) simulate(sp *obs.RunSpan, app string, scheme mc.Scheme, v Variant) (*sim.Result, time.Duration, error) {
 	kern, err := workloads.New(app)
 	if err != nil {
 		sp.Fail(err)
-		return nil, err
+		return nil, 0, err
 	}
 	cfg := sim.DefaultConfig()
 	cfg.ShardPartitions = r.opts.ShardPartitions
+	cfg.ShardWorkers = r.opts.ShardWorkers
 	if v.QueueSize > 0 {
 		cfg.MC.QueueSize = v.QueueSize
 	}
@@ -215,7 +226,7 @@ func (r *Runner) simulate(sp *obs.RunSpan, app string, scheme mc.Scheme, v Varia
 		if v.Tag == "" {
 			err := fmt.Errorf("exp: Variant.Mutate requires a Tag for %s", app)
 			sp.Fail(err)
-			return nil, err
+			return nil, 0, err
 		}
 		v.Mutate(&cfg)
 	}
@@ -226,7 +237,7 @@ func (r *Runner) simulate(sp *obs.RunSpan, app string, scheme mc.Scheme, v Varia
 	golden, err := r.Golden(app)
 	if err != nil {
 		sp.Fail(err)
-		return nil, err
+		return nil, 0, err
 	}
 	sp.Queued()
 	slot := <-r.slots
@@ -236,7 +247,9 @@ func (r *Runner) simulate(sp *obs.RunSpan, app string, scheme mc.Scheme, v Varia
 	if logging {
 		runtime.ReadMemStats(&before)
 	}
+	start := time.Now()
 	res, err := sim.Simulate(kern, cfg, scheme, r.opts.Seed)
+	wall := time.Since(start)
 	var allocBytes, mallocs uint64
 	if logging {
 		var after runtime.MemStats
@@ -251,12 +264,34 @@ func (r *Runner) simulate(sp *obs.RunSpan, app string, scheme mc.Scheme, v Varia
 		err = fmt.Errorf("%s/%s: %w", app, scheme.Name(), err)
 		sp.Fail(err)
 		r.slots <- slot
-		return nil, err
+		return nil, 0, err
 	}
 	res.Run.AppError = approx.MeanRelativeError(golden, res.Output)
 	sp.Done(res.Run.Mem.Cycles, allocBytes, mallocs)
 	r.slots <- slot
-	return res, nil
+	return res, wall, nil
+}
+
+// Timing returns the wall-clock seconds the memoized run for the given
+// point spent inside sim.Simulate. Deduped callers share the executing
+// run's time. ok is false while the run is still in flight, failed, or was
+// never requested.
+func (r *Runner) Timing(app string, scheme mc.Scheme, v Variant) (seconds float64, ok bool) {
+	r.mu.Lock()
+	e := r.runs[runKey(app, scheme, v)]
+	r.mu.Unlock()
+	if e == nil {
+		return 0, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return 0, false
+	}
+	if e.err != nil {
+		return 0, false
+	}
+	return e.wall.Seconds(), true
 }
 
 // Prefetch declares a point set up front and fans it out across the worker

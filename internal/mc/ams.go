@@ -174,6 +174,8 @@ func (c *Controller) amsStep(now uint64) {
 	}
 	// Drop the whole visible row, starting with the oldest request now.
 	rq.dropping = true
+	c.banks[req.Coord.Bank].version++
+	c.cenDirty |= 1 << uint(req.Coord.Bank)
 	a.dropBank = req.Coord.Bank
 	a.dropRow = req.Coord.Row
 	for _, r := range rq.reqs {
@@ -191,6 +193,8 @@ func (a *amsUnit) finishRowDrop(c *Controller) {
 	bq := &c.banks[a.dropBank]
 	if rq := bq.rows[a.dropRow]; rq != nil {
 		rq.dropping = false
+		bq.version++
+		c.cenDirty |= 1 << uint(a.dropBank)
 		if rq.pending == 0 {
 			delete(bq.rows, a.dropRow)
 		}
@@ -204,6 +208,10 @@ func (c *Controller) dropReq(r *Request, now uint64) {
 		c.audit(now, r, obs.ReasonAMSDrop)
 	}
 	c.tr.Observe(obs.StageVPDrop, now-r.Arrival)
+	c.activity++
+	if c.cen != nil {
+		c.censusRetire(r, now, now+c.cfg.VPLatencyCycles, true)
+	}
 	c.retire(r, ReqDropped)
 	c.st.Dropped++
 	c.st.Bank(r.Coord.Bank).AMSDrops++

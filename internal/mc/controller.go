@@ -166,6 +166,53 @@ type Controller struct {
 	audCh int           // channel tag stamped on audited decisions
 
 	inj *fault.Injector // nil unless fault injection is enabled
+
+	cen *obs.Census // nil unless the cycle census is enabled
+	// cenBank is the bank a DRAM command issued to this cycle (-1 none); the
+	// census pass uses it to classify that bank as serving.
+	cenBank int
+	// cenSpans holds each bank's open census span (allocated by SetCensus);
+	// cenRefreshing/cenDelay are the refresh-window flag and DMS delay the
+	// spans were classified under — a change in either re-classifies every
+	// span, because refresh and the DMS age gate feed every classification.
+	cenSpans []cenSpan
+	// cenUntil holds each open span's expiry horizon (0 = no span open),
+	// kept dense and separate from cenSpans so the censusPass expiry scan
+	// reads two cache lines instead of one per span.
+	cenUntil      []uint64
+	cenRefreshing bool
+	cenDelay      uint64
+	// cenDirty is the set of banks whose open span must re-classify: every
+	// queue mutation and command site marks the affected bank eagerly, and
+	// column/ACT commands fold in cenColMask/cenActMask — the banks whose
+	// span cause depends on the channel's bus state (a ready row-hit head
+	// that lost arbitration) or tRRD spacing (a ready activate). Bank-local
+	// causes carry their own expiry horizon instead; cenNextUntil is the
+	// earliest horizon across all open spans. A cycle with no dirty bank, no
+	// reached horizon, and unchanged refresh/delay flags provably extends
+	// every span. Maintained unconditionally — an OR costs nothing.
+	cenDirty   uint64
+	cenColMask uint64
+	cenActMask uint64
+	// cenAllMask has one bit per bank; cenWide marks controllers with more
+	// banks than mask bits, which fall back to the per-cycle reference
+	// census.
+	cenAllMask   uint64
+	cenWide      bool
+	cenNextUntil uint64
+	// cenTicked is one past the last cycle settled into BankCycles (cenOpen
+	// until the first pass); quiescent cycles are accounted in bulk when the
+	// next pass — or CensusFinish — observes the gap.
+	cenTicked uint64
+	// cenRef switches censusTick to the per-cycle reference implementation;
+	// only the span-equivalence test sets it.
+	cenRef bool
+	// activity counts controller progress events (pushes, issued commands,
+	// drops); together with the refresh counter it lets the partition census
+	// detect cycles where provably nothing changed. Maintained
+	// unconditionally — a counter bump costs nothing and keeps the hot path
+	// branch-free.
+	activity uint64
 }
 
 // New creates a controller in front of ch. onComplete must be non-nil;
@@ -181,6 +228,7 @@ func New(cfg Config, ch *dram.Channel, st *stats.Mem, onComplete CompletionFunc,
 		onComplete: onComplete,
 		vpReady:    vpReady,
 		banks:      make([]bankQ, ch.NumBanks()),
+		cenBank:    -1,
 	}
 	for i := range c.banks {
 		c.banks[i].rows = make(map[int64]*rowQ)
@@ -222,6 +270,40 @@ func (c *Controller) SetAudit(a *obs.AuditLog, channel int) {
 // offered to it and the returned flips ride on the request for the fill path
 // to apply. A nil injector disables the hook.
 func (c *Controller) SetFaults(inj *fault.Injector) { c.inj = inj }
+
+// SetCensus attaches the cycle census: the controller then charges every
+// pending bank head's wait cycles to a stall cause, classifies every
+// bank-cycle's residency state, and folds retired requests into the exact
+// stall decomposition. A nil census disables the hooks.
+func (c *Controller) SetCensus(cen *obs.Census) {
+	c.cen = cen
+	cen.EnsureBanks(len(c.banks))
+	c.cenSpans = make([]cenSpan, len(c.banks))
+	c.cenUntil = make([]uint64, len(c.banks))
+	c.cenTicked = ^uint64(0)
+	if n := len(c.banks); n > 64 {
+		c.cenWide = true
+	} else {
+		c.cenAllMask = ^uint64(0) >> uint(64-n)
+	}
+}
+
+// markCmd records that a DRAM command issued to bank b this cycle: b becomes
+// the census's serving bank and is marked dirty so its open census span
+// re-classifies against the new timing state. The issue sites that move
+// channel-wide state (column bus, tRRD) additionally fold in the matching
+// sensitivity mask.
+func (c *Controller) markCmd(b int) {
+	c.cenBank = b
+	c.cenDirty |= 1 << uint(b)
+	c.activity++
+}
+
+// Activity returns a counter that advances whenever the controller's
+// architectural state changed: a request entered the queue, a DRAM command
+// issued, an AMS drop happened, or a refresh window opened. Two equal
+// readings bracket a cycle where the controller provably did nothing.
+func (c *Controller) Activity() uint64 { return c.activity + c.st.Refreshes }
 
 // coverage returns the running prediction coverage (dropped / reads).
 func (c *Controller) coverage() float64 {
@@ -296,6 +378,18 @@ func (c *Controller) Push(addr uint64, write, approximable bool, coord dram.Coor
 	}
 	c.banks[coord.Bank].push(r)
 	c.live++
+	c.activity++
+	if c.cen != nil {
+		// A push appends a younger request, so it can change an open census
+		// span's classification only by giving an empty (or fully-dropping)
+		// bank a head, or by adding a pending hit to the bank's open row
+		// (the conflict branch counts those). Younger arrivals behind a live
+		// head leave both the head and every timing input untouched.
+		if s := &c.cenSpans[coord.Bank]; c.cenUntil[coord.Bank] == 0 || s.head == nil ||
+			coord.Row == c.ch.OpenRow(coord.Bank) {
+			c.cenDirty |= 1 << uint(coord.Bank)
+		}
+	}
 	if write {
 		c.st.WriteReqs++
 	} else {
@@ -329,7 +423,13 @@ func (c *Controller) Tick(now uint64) {
 	c.st.ThRBLSum += uint64(c.ThRBL())
 	amsHalted := false
 	if c.dms != nil {
+		before := c.dms.delay
 		amsHalted = c.dms.tick(now, c.st)
+		if c.dms.delay != before {
+			// A Dyn-DMS delay change moves every head's age gate: every open
+			// census span re-classifies.
+			c.cenDirty = c.cenAllMask
+		}
 	}
 	if c.ams != nil {
 		c.ams.tick(now)
@@ -337,10 +437,16 @@ func (c *Controller) Tick(now uint64) {
 			c.amsStep(now)
 		}
 	}
-	if c.ch.Refreshing(now) {
-		return // channel blocked by an all-bank refresh
+	// An all-bank refresh blocks the whole channel for the cycle; the census
+	// pass still runs so refresh cycles are attributed, not lost.
+	c.cenBank = -1
+	refreshing := c.ch.Refreshing(now)
+	if !refreshing {
+		c.issue(now)
 	}
-	c.issue(now)
+	if c.cen != nil {
+		c.censusTick(now, refreshing)
+	}
 }
 
 // Drain flushes in-flight activation statistics; call at end of simulation.
@@ -457,8 +563,11 @@ func (c *Controller) issue(now uint64) {
 	case best.req == nil:
 	case best.pre:
 		c.ch.Precharge(best.req.Coord.Bank, now)
+		c.markCmd(best.req.Coord.Bank)
 	default:
 		c.ch.Activate(best.req.Coord.Bank, best.req.Coord.Row, now)
+		c.markCmd(best.req.Coord.Bank)
+		c.cenDirty |= c.cenActMask
 		// Delay-budget expiry: the request aged past a non-zero in-force
 		// delay and its row is now being opened (recorded once per
 		// activation, not for the preceding precharge).
@@ -482,6 +591,7 @@ func (c *Controller) closeIdleRow(now uint64) bool {
 		}
 		if c.ch.CanPrecharge(b, now) {
 			c.ch.PrechargeIdle(b, now)
+			c.markCmd(b)
 			return true
 		}
 	}
@@ -505,6 +615,11 @@ func (c *Controller) issueColumn(r *Request, now uint64) {
 	}
 	c.tr.Observe(obs.StageMCQueue, now-r.Arrival)
 	c.tr.Observe(obs.StageDRAM, ready-now)
+	c.markCmd(b)
+	c.cenDirty |= c.cenColMask
+	if c.cen != nil {
+		c.censusRetire(r, now, ready, false)
+	}
 	c.retire(r, ReqServed)
 	c.onComplete(r, false, ready)
 }
@@ -513,4 +628,5 @@ func (c *Controller) retire(r *Request, s ReqState) {
 	r.state = s
 	c.banks[r.Coord.Bank].retire(r)
 	c.live--
+	c.cenDirty |= 1 << uint(r.Coord.Bank)
 }

@@ -19,6 +19,7 @@ package mc
 import (
 	"lazydram/internal/dram"
 	"lazydram/internal/fault"
+	"lazydram/internal/obs"
 )
 
 // ReqState tracks the lifecycle of a request inside the pending queue.
@@ -55,6 +56,13 @@ type Request struct {
 	Faults *fault.LineFaults
 
 	state ReqState
+
+	// stall accumulates the cycle census's head-stall charges per cause
+	// (written only when a census is attached). At retirement the controller
+	// adds the queue-not-head remainder and the service decomposition, so the
+	// vector sums exactly to the request's measured queue+service latency.
+	// uint32 bounds a single cause at ~4.3e9 cycles, far beyond any run.
+	stall [obs.NumStallCauses]uint32
 }
 
 // State returns the request's lifecycle state.
@@ -107,6 +115,17 @@ type bankQ struct {
 	fifo    []*Request // arrival order, lazily trimmed
 	rows    map[int64]*rowQ
 	pending int
+
+	// version counts the mutations that can change oldest()'s answer:
+	// pushes, retirements, and AMS row-drop transitions. The cycle census
+	// charges every bank's head once per cycle; the version-stamped cache
+	// below lets it reuse the head found last cycle instead of rescanning
+	// the fifo. (The census span cache invalidates eagerly via the
+	// controller's dirty-bank mask instead of comparing stamps; every
+	// version-bump site also marks the bank dirty.)
+	version    uint32
+	cenHead    *Request
+	cenVersion uint32
 }
 
 func (b *bankQ) push(r *Request) {
@@ -118,6 +137,7 @@ func (b *bankQ) push(r *Request) {
 	}
 	rq.push(r)
 	b.pending++
+	b.version++
 }
 
 // oldest returns the oldest pending request in the bank whose row is not
@@ -149,8 +169,19 @@ func (b *bankQ) oldestAny() *Request {
 	return b.fifo[0]
 }
 
+// head is oldest() behind the version-stamped cache; the zero value (both
+// stamps 0, nil head) is correct for an empty queue.
+func (b *bankQ) head() *Request {
+	if b.cenVersion != b.version {
+		b.cenHead = b.oldest()
+		b.cenVersion = b.version
+	}
+	return b.cenHead
+}
+
 func (b *bankQ) retire(r *Request) {
 	b.pending--
+	b.version++
 	rq := b.rows[r.Coord.Row]
 	rq.retire(r)
 	if rq.pending == 0 && !rq.dropping {

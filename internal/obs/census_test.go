@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// retire charges a request with the given per-cause vector and latency.
+func retire(c *Census, bank int, charges map[StallCause]uint64) {
+	var vec [NumStallCauses]uint64
+	var lat uint64
+	for cause, n := range charges {
+		vec[cause] = n
+		lat += n
+	}
+	c.Retire(bank, lat, &vec)
+}
+
+func TestCensusRetireInvariant(t *testing.T) {
+	c := NewCensus()
+	c.EnsureBanks(2)
+	retire(c, 0, map[StallCause]uint64{StallQueued: 5, StallTRCD: 12, StallCAS: 12, StallBurst: 2})
+	retire(c, 1, map[StallCause]uint64{StallDMSHold: 128, StallVP: 2})
+	if c.Requests != 2 {
+		t.Fatalf("requests = %d", c.Requests)
+	}
+	if c.Attributed() != c.LatencyCycles {
+		t.Fatalf("attributed %d != latency %d", c.Attributed(), c.LatencyCycles)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c.BankStall[0][StallTRCD] != 12 || c.BankStall[1][StallDMSHold] != 128 {
+		t.Fatal("per-bank stall attribution wrong")
+	}
+	// A latency that does not match its charge vector must be caught.
+	var bad [NumStallCauses]uint64
+	bad[StallQueued] = 3
+	c.Retire(0, 7, &bad)
+	if err := c.CheckInvariants(); err == nil {
+		t.Fatal("mismatched retire not caught by CheckInvariants")
+	}
+}
+
+func TestCensusResidencyInvariant(t *testing.T) {
+	c := NewCensus()
+	c.EnsureBanks(2)
+	for i := 0; i < 10; i++ {
+		c.BankCycle(0, BankServing)
+		c.BankCycle(1, BankIdle)
+		c.TickBanks()
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A skipped bank classification must be caught.
+	c.BankCycle(0, BankOpenIdle)
+	c.TickBanks()
+	if err := c.CheckInvariants(); err == nil {
+		t.Fatal("missing bank classification not caught")
+	}
+}
+
+func TestCensusGapRuns(t *testing.T) {
+	c := NewCensus()
+	// advancing, 3 timing-waits, advancing, 2 idles, end (flush).
+	c.TickPartition(true, false)
+	for i := 0; i < 3; i++ {
+		c.TickPartition(false, false)
+	}
+	c.TickPartition(true, false)
+	c.TickPartition(false, true)
+	c.TickPartition(false, true)
+	c.FlushGap()
+	if c.PartCycles != 7 || c.Advancing != 2 || c.TimingWait != 3 || c.Idle != 2 {
+		t.Fatalf("census = %+v", c)
+	}
+	if got := c.GapHist.Count(); got != 2 {
+		t.Fatalf("gap count = %d, want 2 (runs of 3 and 2)", got)
+	}
+	if got := c.GapHist.Sum(); got != 5 {
+		t.Fatalf("gap sum = %d, want 5", got)
+	}
+	if got := c.GapHist.Max(); got != 3 {
+		t.Fatalf("gap max = %d, want 3", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := 5.0 / 7.0
+	if got := c.SkippableFrac(); got != want {
+		t.Fatalf("skippable frac = %g, want %g", got, want)
+	}
+}
+
+func TestCensusMerge(t *testing.T) {
+	a, b := NewCensus(), NewCensus()
+	a.EnsureBanks(1)
+	b.EnsureBanks(2)
+	retire(a, 0, map[StallCause]uint64{StallQueued: 4})
+	retire(b, 1, map[StallCause]uint64{StallTRP: 6})
+	for _, c := range []*Census{a, b} {
+		c.BankCycle(0, BankServing)
+		c.TickBanks()
+		c.TickPartition(true, false)
+		c.TickPartition(false, false)
+		c.FlushGap()
+	}
+	b.BankCycle(1, BankIdle) // bank 1 exists only in b; complete its row
+	a.Merge(b)
+	if a.Requests != 2 || a.LatencyCycles != 10 {
+		t.Fatalf("merged totals: %d req, %d cycles", a.Requests, a.LatencyCycles)
+	}
+	if len(a.BankStall) != 2 || a.BankStall[1][StallTRP] != 6 {
+		t.Fatal("merge did not grow/fold bank matrices")
+	}
+	if a.PartCycles != 4 || a.Advancing != 2 || a.TimingWait != 2 {
+		t.Fatalf("merged partition census: %+v", a)
+	}
+	if a.GapHist.Count() != 2 || a.GapHist.Sum() != 2 {
+		t.Fatal("gap histograms not merged")
+	}
+	// Nil-safety both directions.
+	var nilC *Census
+	nilC.Merge(a)
+	a.Merge(nil)
+	nilC.FlushGap()
+	if err := nilC.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCensusSummary(t *testing.T) {
+	c := NewCensus()
+	c.EnsureBanks(1)
+	retire(c, 0, map[StallCause]uint64{StallQueued: 10, StallTRCD: 30, StallCAS: 50, StallBurst: 10})
+	c.BankCycle(0, BankServing)
+	c.TickBanks()
+	c.TickPartition(true, false)
+	s := c.Summary()
+	if s.InvariantError != "" {
+		t.Fatalf("unexpected invariant error: %s", s.InvariantError)
+	}
+	if s.AttributedCycles != 100 || s.LatencyCycles != 100 {
+		t.Fatalf("summary totals: %+v", s)
+	}
+	var share float64
+	for _, row := range s.Stalls {
+		share += row.Share
+		if row.Cause == "trcd" && row.Cycles != 30 {
+			t.Fatalf("trcd cycles = %d", row.Cycles)
+		}
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("stall shares sum to %g", share)
+	}
+	if len(s.Residency) != 1 || s.Residency[0].State != "serving" || s.Residency[0].Share != 1 {
+		t.Fatalf("residency rollup: %+v", s.Residency)
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"skippable_frac", "attributed_cycles", "gap_p99"} {
+		if !strings.Contains(string(blob), key) {
+			t.Errorf("summary JSON missing %q", key)
+		}
+	}
+	// A broken census must surface its violation in the artifact.
+	c.Stall[StallQueued]++
+	if bad := c.Summary(); bad.InvariantError == "" {
+		t.Fatal("summary of broken census carries no invariant error")
+	}
+	// Nil summaries stay nil (census disabled).
+	if (*Census)(nil).Summary() != nil {
+		t.Fatal("nil census summary not nil")
+	}
+}
+
+func TestCensusChannelSummary(t *testing.T) {
+	c := NewCensus()
+	c.EnsureBanks(2)
+	retire(c, 1, map[StallCause]uint64{StallTRAS: 7})
+	c.BankCycle(0, BankOpenIdle)
+	c.BankCycle(1, BankPrecharging)
+	c.TickBanks()
+	ch := c.ChannelSummary(3)
+	if ch.Channel != 3 || ch.Requests != 1 || ch.LatencyCycles != 7 {
+		t.Fatalf("channel summary: %+v", ch)
+	}
+	if ch.StallCycles["tras"] != 7 {
+		t.Fatalf("stall map: %+v", ch.StallCycles)
+	}
+	if len(ch.Banks) != 2 || ch.Banks[0].OpenIdle != 1 || ch.Banks[1].Precharging != 1 {
+		t.Fatalf("bank rows: %+v", ch.Banks)
+	}
+}

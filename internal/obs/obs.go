@@ -112,6 +112,7 @@ func (t *Tracer) Stages() []StageSummary {
 			Stage: s.String(),
 			Clock: s.Clock(),
 			Count: h.Count(),
+			Sum:   h.Sum(),
 			Mean:  h.Mean(),
 			P50:   h.Percentile(50),
 			P90:   h.Percentile(90),
@@ -127,6 +128,7 @@ type StageSummary struct {
 	Stage string  `json:"stage"`
 	Clock string  `json:"clock"`
 	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
 	Mean  float64 `json:"mean"`
 	P50   uint64  `json:"p50"`
 	P90   uint64  `json:"p90"`
@@ -174,13 +176,17 @@ type Options struct {
 	// DefaultDigestCapacity). When the ring wraps, the oldest records are
 	// dropped and counted; the chain summary stays exact regardless.
 	DigestCapacity int
+	// Census enables the cycle census and latency-provenance layer: exact
+	// per-request stall-cause attribution, bank state residency, and the
+	// partition-cycle / next-event-gap census (see census.go).
+	Census bool
 }
 
 // Enabled reports whether any feature is on.
 func (o Options) Enabled() bool {
 	return o.Latency || o.SampleEvery > 0 || o.TraceCapacity > 0 ||
 		o.Metrics != nil || o.AuditCapacity > 0 || o.Quality || o.FaultQuality ||
-		o.DigestEvery > 0
+		o.DigestEvery > 0 || o.Census
 }
 
 // Collector owns the per-run observability state. A nil *Collector (the
@@ -223,6 +229,9 @@ type Shard struct {
 	// sources stay distinguishable.
 	Quality      *QualityLog
 	FaultQuality *QualityLog
+	// Census is the partition's cycle-census state (nil unless
+	// Options.Census).
+	Census *Census
 }
 
 // NewCollector builds a collector for the options, or nil when everything is
@@ -281,6 +290,9 @@ func (c *Collector) EnsureShards(n int) {
 		if c.opts.FaultQuality {
 			s.FaultQuality = NewQualityLog(c.opts.QualityWorst)
 		}
+		if c.opts.Census {
+			s.Census = NewCensus()
+		}
 		c.shards[i] = s
 	}
 }
@@ -336,6 +348,14 @@ func (s *Shard) ShardFaultQuality() *QualityLog {
 		return nil
 	}
 	return s.FaultQuality
+}
+
+// ShardCensus returns the shard's cycle census (nil-safe).
+func (s *Shard) ShardCensus() *Census {
+	if s == nil {
+		return nil
+	}
+	return s.Census
 }
 
 // MergedTracer folds the SM-side tracer and every shard's memory-side
@@ -403,6 +423,22 @@ func (c *Collector) MergedFaultQuality() *QualityLog {
 	return out
 }
 
+// MergedCensus folds the per-shard censuses elementwise into one fresh
+// Census (nil when the census is off).
+func (c *Collector) MergedCensus() *Census {
+	if c == nil || !c.opts.Census {
+		return nil
+	}
+	out := NewCensus()
+	for _, s := range c.shards {
+		out.Merge(s.Census)
+	}
+	return out
+}
+
+// CensusEnabled reports whether the cycle census is collecting.
+func (c *Collector) CensusEnabled() bool { return c != nil && c.opts.Census }
+
 // AuditCount sums one reason's exact counter across shards. Callers must
 // only read between cycles (barrier-quiesced state); see the package note on
 // shards.
@@ -467,6 +503,13 @@ func (c *Collector) Telemetry() *Telemetry {
 	t.Audit = c.MergedAudit().Summary()
 	t.Quality = c.MergedQuality().Summary()
 	t.Digest = c.Digest.Summary()
+	if c.opts.Census {
+		sum := c.MergedCensus().Summary()
+		for i, s := range c.shards {
+			sum.Channels = append(sum.Channels, s.Census.ChannelSummary(i))
+		}
+		t.Census = sum
+	}
 	return t
 }
 
@@ -495,6 +538,10 @@ type Telemetry struct {
 	// set): interval count plus the final and chained machine digests, the
 	// run's exact bit-identity key.
 	Digest *DigestSummary `json:"digest,omitempty"`
+	// Census is the cycle census and latency-provenance digest (nil unless
+	// the census was on): the stall-cause decomposition, bank residency,
+	// skippable-cycle fraction, and next-event-gap histogram.
+	Census *CensusSummary `json:"census,omitempty"`
 }
 
 // FaultSummary is the serializable digest of a fault-injection run. It

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"iter"
 	"math/rand"
+	"time"
 
 	"lazydram/internal/approx"
 	"lazydram/internal/core"
@@ -90,6 +91,11 @@ type GPU struct {
 	// pool, when non-nil (Config.ShardPartitions), ticks partitions on
 	// worker goroutines with a bulk-synchronous barrier per cycle.
 	pool *shardPool
+
+	// host is the host-side phase profiler (non-nil only with Obs.Census):
+	// sampled wall-clock per Step phase, reported under telemetry
+	// census.host.
+	host *hostProf
 }
 
 // sampleState remembers the cumulative counters at the previous time-series
@@ -127,7 +133,7 @@ func NewGPU(cfg Config, scheme mc.Scheme, kern Kernel, im *memimage.Image) *GPU 
 		g.dig = g.col.Digest
 		if g.col.Metrics != nil {
 			g.met = newGPUMetrics(g.col.Metrics, kern.Name(), scheme.Name(),
-				nParts, cfg.DRAM.NumBanks, cfg.Obs.MetricsEvery)
+				nParts, cfg.DRAM.NumBanks, cfg.Obs.MetricsEvery, cfg.Obs.Census)
 		}
 	}
 	for p := 0; p < nParts; p++ {
@@ -137,6 +143,9 @@ func NewGPU(cfg Config, scheme mc.Scheme, kern Kernel, im *memimage.Image) *GPU 
 	g.replyNet = icnt.New(g.cfg.icntConfig(cfg.NumSMs))
 	if cfg.ShardPartitions && nParts > 1 {
 		g.pool = newShardPool(g.partitions, cfg.ShardWorkers)
+	}
+	if g.cfg.Obs.Census {
+		g.host = &hostProf{}
 	}
 	return g
 }
@@ -179,20 +188,37 @@ func (g *GPU) Step() (done bool, err error) {
 		g.shutdown()
 		return false, fmt.Errorf("sim: %s exceeded %d core cycles", g.kern.Name(), g.cfg.MaxCoreCycles)
 	}
-	g.coreTick()
+	if g.host.sampleCore(g.coreCycle) {
+		t0 := time.Now()
+		g.coreTick()
+		g.host.addCore(time.Since(t0))
+	} else {
+		g.coreTick()
+	}
 	g.memAcc += g.memPerCore
 	if g.memAcc >= 1 {
 		g.memAcc--
+		timed := g.host.sampleMem(g.memCycle)
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		if g.pool != nil {
-			g.pool.memTick(g.memCycle)
+			g.pool.memTick(g.memCycle, timed)
 		} else {
 			for _, p := range g.partitions {
 				p.memTick(g.memCycle)
 			}
 		}
+		if timed {
+			g.host.addMem(time.Since(t0))
+		}
 		g.memCycle++
 		// Probes below run on this goroutine strictly after the barrier
 		// (or the sequential loop), so they read quiesced state only.
+		if timed {
+			t0 = time.Now()
+		}
 		if g.sampler != nil {
 			g.sampler.Tick(g.memCycle, g.probeSample)
 		}
@@ -201,6 +227,9 @@ func (g *GPU) Step() (done bool, err error) {
 		}
 		if g.met != nil && g.memCycle%g.met.every == 0 {
 			g.publishMetrics()
+		}
+		if timed {
+			g.host.addProbe(time.Since(t0))
 		}
 	}
 	g.coreCycle++
@@ -416,7 +445,7 @@ func (g *GPU) collect() *Result {
 	r.L1Accesses = g.l1Accesses
 	r.L1Misses = g.l1Misses
 	for _, p := range g.partitions {
-		p.drainStats()
+		p.drainStats(g.memCycle)
 		res.Channels = append(res.Channels, p.st.Clone())
 		r.Mem.Merge(&p.st)
 		l2 := p.l2.Stats()
@@ -452,6 +481,9 @@ func (g *GPU) collect() *Result {
 		res.Trace = g.col.MergedTrace()
 		res.Audit = g.col.MergedAudit()
 		res.Digest = g.col.Digest
+		if res.Telemetry != nil && res.Telemetry.Census != nil {
+			res.Telemetry.Census.Host = g.host.phases(g.pool)
+		}
 	}
 	if g.cfg.Fault.Enabled {
 		fs := g.faultSummary()

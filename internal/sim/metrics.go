@@ -34,9 +34,18 @@ type gpuMetrics struct {
 	auditReasons []*obs.Metric // indexed by obs.Reason
 	qualLines, qualWords,
 	qualMeanRel, qualMaxRel *obs.Metric
+
+	// Census families (nil slices unless Obs.Census): machine-level stall
+	// decomposition, bank state-residency, and the partition cycle census
+	// with its skippable-fraction headline.
+	cenStall []*obs.Metric // indexed by obs.StallCause
+	cenState []*obs.Metric // indexed by obs.BankState
+	cenPart  []*obs.Metric // advancing, timing_wait, idle
+	cenReqs, cenLat, cenSkip,
+	cenGapP50, cenGapP99 *obs.Metric
 }
 
-func newGPUMetrics(reg *obs.Registry, app, scheme string, nch, nbanks int, every uint64) *gpuMetrics {
+func newGPUMetrics(reg *obs.Registry, app, scheme string, nch, nbanks int, every uint64, census bool) *gpuMetrics {
 	if every == 0 {
 		every = defaultMetricsEvery
 	}
@@ -80,6 +89,29 @@ func newGPUMetrics(reg *obs.Registry, app, scheme string, nch, nbanks int, every
 	bDelay := reg.Register("lazysim_bank_dms_delay_cycles_total", "Cycles the bank's oldest miss was held by the DMS age gate", obs.KindCounter, bankLabels...)
 	bDrops := reg.Register("lazysim_bank_ams_drops_total", "AMS-dropped read requests per channel and bank", obs.KindCounter, bankLabels...)
 	bRowE := reg.Register("lazysim_bank_row_energy_nj", "Row energy per channel and bank under the configured profile", obs.KindGauge, bankLabels...)
+
+	if census {
+		stall := reg.Register("lazysim_census_stall_cycles_total",
+			"Attributed request-waiting cycles by stall cause", obs.KindCounter, "cause")
+		for c := obs.StallCause(0); c < obs.NumStallCauses; c++ {
+			m.cenStall = append(m.cenStall, stall.With(c.String()))
+		}
+		state := reg.Register("lazysim_census_bank_state_cycles_total",
+			"Bank-cycles spent in each residency state, summed over banks", obs.KindCounter, "state")
+		for st := obs.BankState(0); st < obs.NumBankStates; st++ {
+			m.cenState = append(m.cenState, state.With(st.String()))
+		}
+		part := reg.Register("lazysim_census_partition_cycles_total",
+			"Partition memory cycles by census class", obs.KindCounter, "class")
+		for _, cls := range []string{"advancing", "timing_wait", "idle"} {
+			m.cenPart = append(m.cenPart, part.With(cls))
+		}
+		m.cenReqs = reg.Counter("lazysim_census_requests_total", "Requests folded into the cycle census")
+		m.cenLat = reg.Counter("lazysim_census_latency_cycles_total", "Total attributed queue+service latency cycles")
+		m.cenSkip = reg.Gauge("lazysim_census_skippable_frac", "Fraction of partition cycles an event-driven memory model could skip")
+		m.cenGapP50 = reg.Gauge("lazysim_census_gap_p50", "Median next-event gap (maximal skippable run) in memory cycles")
+		m.cenGapP99 = reg.Gauge("lazysim_census_gap_p99", "99th-percentile next-event gap in memory cycles")
+	}
 
 	for c := 0; c < nch; c++ {
 		cl := strconv.Itoa(c)
@@ -191,5 +223,28 @@ func (g *GPU) publishMetrics() {
 		m.qualWords.Set(float64(words))
 		m.qualMeanRel.Set(meanRel)
 		m.qualMaxRel.Set(maxRel)
+	}
+	if m.cenStall != nil && g.col.CensusEnabled() {
+		cen := g.col.MergedCensus()
+		for c := range m.cenStall {
+			m.cenStall[c].Set(float64(cen.Stall[c]))
+		}
+		var states [obs.NumBankStates]uint64
+		for _, row := range cen.Residency {
+			for st, n := range row {
+				states[st] += n
+			}
+		}
+		for st := range m.cenState {
+			m.cenState[st].Set(float64(states[st]))
+		}
+		m.cenPart[0].Set(float64(cen.Advancing))
+		m.cenPart[1].Set(float64(cen.TimingWait))
+		m.cenPart[2].Set(float64(cen.Idle))
+		m.cenReqs.Set(float64(cen.Requests))
+		m.cenLat.Set(float64(cen.LatencyCycles))
+		m.cenSkip.Set(cen.SkippableFrac())
+		m.cenGapP50.Set(float64(cen.GapHist.Percentile(50)))
+		m.cenGapP99.Set(float64(cen.GapHist.Percentile(99)))
 	}
 }

@@ -70,6 +70,23 @@ type partition struct {
 	qual  *obs.QualityLog // nil unless approximation-quality telemetry is on
 	inj   *fault.Injector // nil unless fault injection is enabled
 	fq    *obs.QualityLog // nil unless fault-error telemetry is on
+	cen   *obs.Census     // nil unless the cycle census is enabled
+
+	// lastActivity and pops feed the partition-cycle census: a memory cycle
+	// whose activity reading (controller progress + completion pops) matches
+	// the previous cycle's provably changed nothing. pops is maintained
+	// unconditionally (one increment per completed fill). advRun/gapLen/
+	// gapIdle batch the census bookkeeping into runs: consecutive advancing
+	// cycles and maximal non-advancing gaps are counted locally and folded
+	// into the Census only when a gap closes (and at drain), keeping the
+	// per-cycle cost to one compare and one increment. Idleness is constant
+	// across a non-advancing run — nothing pops, pushes, or completes — so
+	// sampling it on the gap's first cycle classifies the whole run.
+	lastActivity uint64
+	pops         uint64
+	advRun       uint64
+	gapLen       uint64
+	gapIdle      bool
 
 	wbQueue    []wbEntry
 	done       doneHeap
@@ -101,6 +118,7 @@ func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotat
 		p.tr = shard.ShardTracer()
 		p.qual = shard.ShardQuality()
 		p.fq = shard.ShardFaultQuality()
+		p.cen = shard.ShardCensus()
 		p.dchan.SetTrace(shard.ShardTrace(), id)
 	}
 	switch cfg.VPKind {
@@ -116,6 +134,9 @@ func newPartition(id int, cfg *Config, im *memimage.Image, annot *approx.Annotat
 	mcCfg.Scheme = scheme
 	p.ctrl = mc.New(mcCfg, p.dchan, &p.st, p.onMCComplete, p.vp.Ready)
 	p.ctrl.SetTracer(p.tr)
+	if p.cen != nil {
+		p.ctrl.SetCensus(p.cen)
+	}
 	if shard != nil {
 		p.ctrl.SetAudit(shard.ShardAudit(), id)
 	}
@@ -165,8 +186,37 @@ func (p *partition) memTick(now uint64) {
 	p.ctrl.Tick(now)
 	for len(p.done) > 0 && p.done[0].readyAt <= now {
 		it := heap.Pop(&p.done).(doneItem)
+		p.pops++
 		p.finishFill(it)
 	}
+	if p.cen != nil {
+		// Batched partition census: count advancing cycles and non-advancing
+		// gaps locally, folding a gap into the Census only when it closes.
+		// Idleness is sampled on the gap's first cycle; it cannot change
+		// mid-gap because nothing pops, pushes, or completes while the
+		// activity reading holds still.
+		act := p.ctrl.Activity() + p.pops
+		if act != p.lastActivity {
+			p.lastActivity = act
+			if p.gapLen > 0 {
+				p.cen.CloseGap(p.gapLen, p.gapIdle)
+				p.gapLen = 0
+			}
+			p.advRun++
+		} else {
+			if p.gapLen == 0 {
+				p.gapIdle = p.memIdle()
+			}
+			p.gapLen++
+		}
+	}
+}
+
+// memIdle reports whether the partition's memory-clock side has nothing in
+// flight (the partition-census "fully idle" class; pending L2-hit replies
+// live on the core clock and do not keep the memory side busy).
+func (p *partition) memIdle() bool {
+	return p.ctrl.Pending() == 0 && len(p.wbQueue) == 0 && len(p.done) == 0
 }
 
 // finishFill installs a returned (or value-predicted) line in the L2, merges
@@ -271,12 +321,14 @@ func (p *partition) acceptReq(req *core.MemReq, now uint64) bool {
 		}
 		if e := p.mshr.Lookup(line); e != nil {
 			if !p.mshr.CanMerge(e) {
+				p.noteIngressStall(true)
 				return false
 			}
 			e.Targets = append(e.Targets, req)
 			return true
 		}
 		if p.mshr.Full() || p.ctrl.Full() {
+			p.noteIngressStall(false)
 			return false
 		}
 		e := p.mshr.Allocate(line)
@@ -298,6 +350,7 @@ func (p *partition) acceptReq(req *core.MemReq, now uint64) bool {
 		return true
 	}
 	if p.mshr.Full() || p.ctrl.Full() {
+		p.noteIngressStall(false)
 		return false
 	}
 	e := p.mshr.Allocate(line)
@@ -308,6 +361,26 @@ func (p *partition) acceptReq(req *core.MemReq, now uint64) bool {
 	// would lose the exactness guarantee for stores.
 	p.ctrl.Push(line, false, false, coord, e)
 	return true
+}
+
+// noteIngressStall counts one blocked acceptReq retry for the census's
+// ingress backpressure block: a transaction parked at the head of the
+// request network retries every core cycle, so the counters measure blocked
+// request-cycles. These sit upstream of the pending queue and are outside
+// the mem-side Σ-invariant (DESIGN.md §11). merge distinguishes a
+// merge-limit refusal from the structural MSHR-full/queue-full pair.
+func (p *partition) noteIngressStall(merge bool) {
+	if p.cen == nil {
+		return
+	}
+	switch {
+	case merge:
+		p.cen.MergeLimit++
+	case p.mshr.Full():
+		p.cen.MSHRFull++
+	default:
+		p.cen.QueueFull++
+	}
 }
 
 // idle reports whether no request, reply, or write-back is in flight.
@@ -325,5 +398,20 @@ func (p *partition) flush() {
 	})
 }
 
-// drainStats folds in-flight DRAM activation accounting into the statistics.
-func (p *partition) drainStats() { p.dchan.Drain() }
+// drainStats folds in-flight DRAM activation accounting into the statistics
+// and closes the census's open spans and trailing non-advancing run. end is
+// one past the last ticked memory cycle, so the flushed spans cover exactly
+// the elapsed bank-cycles.
+func (p *partition) drainStats(end uint64) {
+	p.dchan.Drain()
+	p.ctrl.CensusFinish(end)
+	if p.cen != nil {
+		if p.gapLen > 0 {
+			p.cen.CloseGap(p.gapLen, p.gapIdle)
+			p.gapLen = 0
+		}
+		p.cen.AddAdvancing(p.advRun)
+		p.advRun = 0
+	}
+	p.cen.FlushGap()
+}

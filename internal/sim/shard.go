@@ -3,6 +3,7 @@ package sim
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // shardPool ticks memory partitions on a persistent pool of worker
@@ -26,6 +27,13 @@ type shardPool struct {
 	workers int
 	tasks   []chan shardTask
 	wg      sync.WaitGroup
+
+	// Host-phase profiling (census runs only): busyNS[w] is worker w's
+	// cumulative wall-clock across timed dispatches. Each slot is written
+	// only by its owning worker, strictly inside a dispatch, so the barrier
+	// WaitGroup publishes it to the simulation goroutine without locks.
+	busyNS          []uint64
+	timedDispatches uint64
 }
 
 // shardTask is one barrier-delimited unit of work: tick every owned
@@ -33,6 +41,9 @@ type shardPool struct {
 type shardTask struct {
 	now  uint64
 	core bool
+	// timed asks each worker to clock its span of this dispatch with the
+	// monotonic clock (host-phase profiler sample).
+	timed bool
 }
 
 // newShardPool starts workers goroutines (0 picks GOMAXPROCS); the pool is
@@ -49,6 +60,7 @@ func newShardPool(parts []*partition, workers int) *shardPool {
 		workers = 1
 	}
 	sp := &shardPool{parts: parts, workers: workers}
+	sp.busyNS = make([]uint64, workers)
 	sp.tasks = make([]chan shardTask, workers)
 	for w := 0; w < workers; w++ {
 		ch := make(chan shardTask, 1)
@@ -60,6 +72,10 @@ func newShardPool(parts []*partition, workers int) *shardPool {
 
 func (sp *shardPool) run(w int, ch <-chan shardTask) {
 	for t := range ch {
+		var t0 time.Time
+		if t.timed {
+			t0 = time.Now()
+		}
 		for p := w; p < len(sp.parts); p += sp.workers {
 			if t.core {
 				sp.parts[p].coreTick(t.now)
@@ -67,13 +83,22 @@ func (sp *shardPool) run(w int, ch <-chan shardTask) {
 				sp.parts[p].memTick(t.now)
 			}
 		}
+		if t.timed {
+			sp.busyNS[w] += uint64(time.Since(t0))
+		}
 		sp.wg.Done()
 	}
 }
 
 // memTick runs one memory cycle across all partitions and waits for the
-// barrier.
-func (sp *shardPool) memTick(now uint64) { sp.dispatch(shardTask{now: now}) }
+// barrier. timed dispatches additionally clock each worker's span for the
+// host-phase profiler.
+func (sp *shardPool) memTick(now uint64, timed bool) {
+	if timed {
+		sp.timedDispatches++
+	}
+	sp.dispatch(shardTask{now: now, timed: timed})
+}
 
 // coreTick runs the partition half of one core cycle (releasing due L2-hit
 // replies) across all partitions and waits for the barrier.
