@@ -2,7 +2,6 @@ package main
 
 import (
 	"bytes"
-	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -284,27 +283,6 @@ func TestReportSweepDashboard(t *testing.T) {
 	}
 }
 
-// TestTimelineChart: lanes render in [0, lanes), out-of-range boxes are
-// dropped, and an empty input renders nothing.
-func TestTimelineChart(t *testing.T) {
-	if got := timelineChart(2, nil, func(int) string { return "w" }); got != "" {
-		t.Errorf("empty timeline rendered %q", got)
-	}
-	svg := timelineChart(2, []spanBox{
-		{Lane: 0, Start: 0, End: 1, Label: "a", Class: "s1"},
-		{Lane: 1, Start: 0.5, End: 2, Label: "b", Class: "s1"},
-		{Lane: 7, Start: 0, End: 1, Label: "out-of-range", Class: "s1"},
-	}, func(i int) string { return fmt.Sprintf("worker %d", i) })
-	for _, want := range []string{"worker 0", "worker 1", "<rect"} {
-		if !strings.Contains(svg, want) {
-			t.Errorf("timeline missing %q", want)
-		}
-	}
-	if strings.Contains(svg, "out-of-range") {
-		t.Error("timeline rendered a box on a lane beyond the worker count")
-	}
-}
-
 const sampleCensusBlock = `{
 	"requests": 65692, "latency_cycles": 23500706, "attributed_cycles": 23500706,
 	"stalls": [
@@ -407,28 +385,5 @@ func TestReportCensusSection(t *testing.T) {
 	}
 	if !strings.Contains(string(rawB), "Σ-invariant violation") {
 		t.Error("broken census did not render the invariant warning")
-	}
-}
-
-// TestStackedBar: segments render proportionally with tooltips; empty input
-// renders nothing.
-func TestStackedBar(t *testing.T) {
-	if got := stackedBar(nil); got != "" {
-		t.Errorf("empty stacked bar rendered %q", got)
-	}
-	svg := stackedBar([]stackRow{
-		{Label: "machine", Segs: []stackSeg{
-			{Name: "queued", Value: 60, Class: "q1"},
-			{Name: "trcd", Value: 40, Class: "q5"},
-			{Name: "zero", Value: 0, Class: "q9"},
-		}},
-	})
-	for _, want := range []string{"machine", "queued", "trcd", "60.0%", "<rect"} {
-		if !strings.Contains(svg, want) {
-			t.Errorf("stacked bar missing %q", want)
-		}
-	}
-	if strings.Contains(svg, "zero") {
-		t.Error("zero-width segment rendered")
 	}
 }

@@ -82,8 +82,8 @@ import (
 	"lazydram/internal/exp"
 	"lazydram/internal/mc"
 	"lazydram/internal/obs"
+	"lazydram/internal/rundoc"
 	"lazydram/internal/sim"
-	"lazydram/internal/stats"
 	"lazydram/internal/workloads"
 )
 
@@ -272,7 +272,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := json.NewEncoder(os.Stdout).Encode(buildReport(&res.Run, res, *seed, wall, *topBanks)); err != nil {
+		if err := json.NewEncoder(os.Stdout).Encode(rundoc.Build(&res.Run, res, *seed, wall, *topBanks)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -396,106 +396,9 @@ func writeTrace(tr *obs.CmdTrace, path string) error {
 	return tr.WriteChromeTrace(f)
 }
 
-// metaBlock carries document provenance (skipped by lazycmp, so baselines
-// recorded on different commits don't churn).
-type metaBlock struct {
-	Build buildinfo.Build `json:"build"`
-}
-
-// report is the machine-readable run summary emitted by -json: the same
-// totals as the text stat block, plus the telemetry digest.
-type report struct {
-	Meta         metaBlock `json:"meta"`
-	App          string    `json:"app"`
-	Scheme       string    `json:"scheme"`
-	Seed         int64     `json:"seed"`
-	CoreCycles   uint64    `json:"core_cycles"`
-	Instructions uint64    `json:"instructions"`
-	IPC          float64   `json:"ipc"`
-
-	Activations uint64  `json:"activations"`
-	Reads       uint64  `json:"reads"`
-	Writes      uint64  `json:"writes"`
-	AvgRBL      float64 `json:"avg_rbl"`
-	BWUtil      float64 `json:"bwutil"`
-	Coverage    float64 `json:"coverage"`
-	Dropped     uint64  `json:"dropped"`
-	QueueOcc    float64 `json:"queue_occ"`
-
-	RowEnergyNJ float64 `json:"row_energy_nj"`
-	MemEnergyNJ float64 `json:"mem_energy_nj"`
-	AppError    float64 `json:"app_error"`
-
-	FinalDelay int     `json:"final_delay"`
-	FinalThRBL int     `json:"final_th_rbl"`
-	MeanDelay  float64 `json:"mean_delay"`
-	MeanThRBL  float64 `json:"mean_th_rbl"`
-
-	L1Accesses uint64 `json:"l1_accesses"`
-	L1Misses   uint64 `json:"l1_misses"`
-	L2Accesses uint64 `json:"l2_accesses"`
-	L2Misses   uint64 `json:"l2_misses"`
-
-	VPPredictions uint64 `json:"vp_predictions"`
-	VPFallbacks   uint64 `json:"vp_fallbacks"`
-
-	WallMS float64 `json:"wall_ms"`
-
-	// EnergyByChannel is the per-channel × per-bank energy attribution;
-	// HottestBanks the top-N banks by row energy across the whole system.
-	EnergyByChannel []energy.ChannelEnergy `json:"energy_by_channel,omitempty"`
-	HottestBanks    []energy.HotBank       `json:"hottest_banks,omitempty"`
-
-	Telemetry *obs.Telemetry `json:"telemetry,omitempty"`
-}
-
-func buildReport(r *stats.Run, res *sim.Result, seed int64, wall time.Duration, topBanks int) report {
-	ch := r.Mem.Channels()
-	if ch < 1 {
-		ch = 1
-	}
-	occ := 0.0
-	if r.Mem.Cycles > 0 {
-		occ = float64(r.Mem.QueueOccSum) / float64(r.Mem.Cycles*uint64(ch))
-	}
-	return report{
-		Meta:         metaBlock{Build: buildinfo.Get()},
-		App:          r.App,
-		Scheme:       r.Scheme,
-		Seed:         seed,
-		CoreCycles:   r.CoreCycles,
-		Instructions: r.Instructions,
-		IPC:          r.IPC(),
-		Activations:  r.Mem.Activations,
-		Reads:        r.Mem.Reads,
-		Writes:       r.Mem.Writes,
-		AvgRBL:       r.Mem.AvgRBL(),
-		BWUtil:       r.Mem.BWUtil(),
-		Coverage:     r.Mem.Coverage(),
-		Dropped:      r.Mem.Dropped,
-		QueueOcc:     occ,
-		RowEnergyNJ:  r.RowEnergy,
-		MemEnergyNJ:  r.MemEnergy,
-		AppError:     r.AppError,
-		FinalDelay:   r.FinalDelay,
-		FinalThRBL:   r.FinalThRBL,
-		MeanDelay:    r.Mem.MeanDelay(),
-		MeanThRBL:    r.Mem.MeanThRBL(),
-		L1Accesses:   r.L1Accesses,
-		L1Misses:     r.L1Misses,
-		L2Accesses:   r.L2Accesses,
-		L2Misses:     r.L2Misses,
-
-		VPPredictions: res.VPPredictions,
-		VPFallbacks:   res.VPFallbacks,
-		WallMS:        float64(wall.Microseconds()) / 1000,
-
-		EnergyByChannel: res.EnergyByChannel,
-		HottestBanks:    energy.TopBanks(res.EnergyByChannel, topBanks),
-
-		Telemetry: res.Telemetry,
-	}
-}
+// The machine-readable run document (the -json output) is built by
+// internal/rundoc, shared with the lazyd daemon so both surfaces emit the
+// exact same bytes for the same run.
 
 // sweepOptions carries the -sweep mode knobs.
 type sweepOptions struct {
@@ -538,7 +441,7 @@ type sweepRow struct {
 // sweepDoc is the -sweep -json document: per-run rows in declaration order
 // plus the run-lifecycle summary block.
 type sweepDoc struct {
-	Meta  metaBlock         `json:"meta"`
+	Meta  rundoc.Meta       `json:"meta"`
 	Seed  int64             `json:"seed"`
 	Runs  []sweepRow        `json:"runs"`
 	Sweep *obs.SweepSummary `json:"sweep,omitempty"`
@@ -650,7 +553,7 @@ func runSweep(w io.Writer, appList, schemeList string, o sweepOptions) error {
 	r.Wait()
 	rl.FinishProgress()
 	if o.JSON {
-		if err := json.NewEncoder(w).Encode(sweepDoc{Meta: metaBlock{Build: buildinfo.Get()}, Seed: o.Seed, Runs: rows, Sweep: rl.Summary()}); err != nil {
+		if err := json.NewEncoder(w).Encode(sweepDoc{Meta: rundoc.Meta{Build: buildinfo.Get()}, Seed: o.Seed, Runs: rows, Sweep: rl.Summary()}); err != nil {
 			return err
 		}
 	} else {

@@ -16,6 +16,7 @@ import (
 	"lazydram/internal/cliflags"
 	"lazydram/internal/mc"
 	"lazydram/internal/obs"
+	"lazydram/internal/rundoc"
 	"lazydram/internal/sim"
 	"lazydram/internal/workloads"
 )
@@ -141,7 +142,7 @@ func TestBuildReportJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := buildReport(&res.Run, res, 1, 123*time.Millisecond, 2)
+	rep := rundoc.Build(&res.Run, res, 1, 123*time.Millisecond, 2)
 
 	if len(rep.EnergyByChannel) == 0 {
 		t.Fatal("report missing energy_by_channel")

@@ -114,6 +114,39 @@ func ServeMetrics(addr string, reg *obs.Registry) (*http.Server, string, error) 
 	return srv, ln.Addr().String(), nil
 }
 
+// Job is the flag group describing one simulation job — the same vocabulary
+// lazysim uses for a single run, reused by lazyd -submit so the daemon's
+// client mode and the CLI agree on names and defaults. The zero values defer
+// to the service-side canonical defaults (service.Canonicalize).
+type Job struct {
+	App         string
+	Scheme      string
+	Seed        int64
+	Queue       int
+	Delay       int
+	ThRBL       int
+	SampleEvery uint64
+	Audit       bool
+	Quality     bool
+	Census      bool
+}
+
+// AddJob registers the job-description flags on fs.
+func AddJob(fs *flag.FlagSet) *Job {
+	j := &Job{}
+	fs.StringVar(&j.App, "app", "GEMM", "application name")
+	fs.StringVar(&j.Scheme, "scheme", "baseline", "scheduling scheme")
+	fs.Int64Var(&j.Seed, "seed", 0, "input RNG seed (0: daemon default)")
+	fs.IntVar(&j.Queue, "queue", 0, "pending queue size (0: default)")
+	fs.IntVar(&j.Delay, "delay", 0, "static DMS delay in cycles (0: default)")
+	fs.IntVar(&j.ThRBL, "thrbl", 0, "static AMS Th_RBL (0: default)")
+	fs.Uint64Var(&j.SampleEvery, "sample-every", 0, "time-series sampling interval in memory cycles (0: default)")
+	fs.BoolVar(&j.Audit, "audit", false, "collect the scheduler decision audit")
+	fs.BoolVar(&j.Quality, "quality", false, "score AMS-dropped lines against ground truth")
+	fs.BoolVar(&j.Census, "census", false, "collect the cycle census")
+	return j
+}
+
 // Shard is the -shard / -shard-workers group.
 type Shard struct {
 	Enabled bool

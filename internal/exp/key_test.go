@@ -1,0 +1,142 @@
+package exp_test
+
+import (
+	"strings"
+	"testing"
+
+	"lazydram/internal/exp"
+	"lazydram/internal/mc"
+)
+
+// TestRunKeyCanonicalForm pins the exact canonical key strings. The run key
+// is the shared identity across the Runner's singleflight map, the lazyd
+// job dedupe, and the content-addressed result cache (which hashes it), so
+// the serialized form must never change silently: reordering fields or
+// renaming a scheme would split every persisted cache while claiming the
+// same configuration. If this test fails, you changed the key format —
+// treat it as a cache-schema migration, not a test to update casually.
+func TestRunKeyCanonicalForm(t *testing.T) {
+	cases := []struct {
+		name   string
+		app    string
+		scheme mc.Scheme
+		v      exp.Variant
+		seed   int64
+		want   string
+	}{
+		{
+			name: "baseline defaults",
+			app:  "GEMM", scheme: mc.Baseline, seed: 1,
+			want: "GEMM|Baseline|d0|t0|q0|s1|",
+		},
+		{
+			name: "dyn-both",
+			app:  "SCP", scheme: mc.DynBoth, seed: 7,
+			want: "SCP|Dyn-DMS+Dyn-AMS|d128|t8|q0|s7|",
+		},
+		{
+			name: "static sweep point with queue and tag",
+			app:  "MVT", scheme: exp.BothScheme(64, 4),
+			v:    exp.Variant{QueueSize: 256, Tag: "obs:se1024,a0,q0,c0"},
+			seed: 3,
+			want: "MVT|Static-DMS+Static-AMS|d64|t4|q256|s3|obs:se1024,a0,q0,c0",
+		},
+		{
+			name: "variant seed is not part of the string twice",
+			app:  "LPS", scheme: mc.StaticDMS,
+			v: exp.Variant{Seed: 9}, seed: 9,
+			want: "LPS|Static-DMS|d128|t0|q0|s9|",
+		},
+	}
+	for _, c := range cases {
+		if got := exp.RunKey(c.app, c.scheme, c.v, c.seed); got != c.want {
+			t.Errorf("%s: RunKey = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRunKeyDistinguishes asserts that every result-determining field moves
+// the key: two specs that differ in any one of them must never collide.
+func TestRunKeyDistinguishes(t *testing.T) {
+	base := exp.RunKey("SCP", mc.DynBoth, exp.Variant{}, 1)
+	alts := map[string]string{
+		"app":    exp.RunKey("MVT", mc.DynBoth, exp.Variant{}, 1),
+		"scheme": exp.RunKey("SCP", mc.Baseline, exp.Variant{}, 1),
+		"delay":  exp.RunKey("SCP", exp.DMSScheme(64), exp.Variant{}, 1),
+		"thrbl":  exp.RunKey("SCP", exp.AMSScheme(4), exp.Variant{}, 1),
+		"queue":  exp.RunKey("SCP", mc.DynBoth, exp.Variant{QueueSize: 64}, 1),
+		"seed":   exp.RunKey("SCP", mc.DynBoth, exp.Variant{}, 2),
+		"tag":    exp.RunKey("SCP", mc.DynBoth, exp.Variant{Tag: "x"}, 1),
+	}
+	seen := map[string]string{base: "base"}
+	for field, k := range alts {
+		if k == base {
+			t.Errorf("changing %s did not change the run key %q", field, k)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("keys for %s and %s collide: %q", field, prev, k)
+		}
+		seen[k] = field
+	}
+}
+
+// TestVariantSeedMemoizesIndependently runs the same point under two seeds
+// through one Runner and checks both execute (different results allowed) and
+// each memoizes under its own key, scoring against its own seed's golden.
+func TestVariantSeedMemoizesIndependently(t *testing.T) {
+	r := exp.NewRunner(exp.Options{Seed: 1, Apps: []string{"jmein"}})
+	a, err := r.Run("jmein", mc.Baseline, exp.Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run("jmein", mc.Baseline, exp.Variant{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("seed-1 and seed-2 runs shared one memoized result")
+	}
+	// Exact scheme: both must score zero error against their own golden.
+	if a.Run.AppError != 0 || b.Run.AppError != 0 {
+		t.Fatalf("baseline app errors nonzero: seed1 %g, seed2 %g",
+			a.Run.AppError, b.Run.AppError)
+	}
+	// An explicit Seed equal to the default must join the default's flight.
+	c, err := r.Run("jmein", mc.Baseline, exp.Variant{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("Variant{Seed:1} did not join the default-seed memo entry")
+	}
+	st := r.Stats()
+	if st.Runs != 2 {
+		t.Fatalf("Stats.Runs = %d, want 2", st.Runs)
+	}
+	if st.Golden != 2 {
+		t.Fatalf("Stats.Golden = %d, want 2 (one per seed)", st.Golden)
+	}
+	if st.Busy != 0 {
+		t.Fatalf("Stats.Busy = %d after quiesce, want 0", st.Busy)
+	}
+	if st.Workers < 1 {
+		t.Fatalf("Stats.Workers = %d, want >= 1", st.Workers)
+	}
+}
+
+// TestRunKeyHasNoMapIteration is a structural guard: the key must be a pure
+// fixed-order Sprintf over scalar fields, never built from a map walk. We
+// can't inspect the implementation, but we can pin that repeated calls are
+// byte-identical (a map-ordered build would flake here across iterations).
+func TestRunKeyHasNoMapIteration(t *testing.T) {
+	v := exp.Variant{QueueSize: 96, Tag: "obs:se512,a1,q1,c1"}
+	first := exp.RunKey("BFS", mc.DynAMS, v, 42)
+	for i := 0; i < 1000; i++ {
+		if got := exp.RunKey("BFS", mc.DynAMS, v, 42); got != first {
+			t.Fatalf("iteration %d: key %q != %q", i, got, first)
+		}
+	}
+	if !strings.Contains(first, "|s42|") {
+		t.Fatalf("key %q missing seed component", first)
+	}
+}

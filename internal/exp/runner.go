@@ -95,7 +95,7 @@ type runEntry struct {
 	prefetched bool
 }
 
-// goldenEntry is the singleflight slot for one app's functional run.
+// goldenEntry is the singleflight slot for one (app, seed) functional run.
 type goldenEntry struct {
 	done chan struct{}
 	out  []float32
@@ -148,11 +148,16 @@ func (r *Runner) GroupApps(groups ...int) []string {
 	return out
 }
 
-// Variant tweaks one run beyond the scheme: pending-queue size and arbitrary
-// config mutation.
+// Variant tweaks one run beyond the scheme: pending-queue size, per-run seed,
+// and arbitrary config mutation.
 type Variant struct {
 	QueueSize int // 0: default 128
-	Mutate    func(*sim.Config)
+	// Seed overrides the runner-level Options.Seed for this run (0: inherit).
+	// The effective seed is part of the run key, so runs that differ only in
+	// seed memoize independently and the golden functional output is resolved
+	// per (app, seed).
+	Seed   int64
+	Mutate func(*sim.Config)
 	// Tag must uniquely identify Mutate's effect for memoization; required
 	// when Mutate is set.
 	Tag string
@@ -165,10 +170,33 @@ type Point struct {
 	Variant Variant
 }
 
+// RunKey is the canonical identity of one simulation: every field that can
+// change the run's result document, serialized in a fixed order. It is the
+// single source of truth for identity across the whole system — the Runner's
+// singleflight map, the service-level job dedupe, and the content-addressed
+// result cache (which hashes this string) all key on it, so "same key" always
+// means "bit-identical result" (same-seed determinism is CI-gated).
+//
+// seed must be the effective seed (a Variant.Seed of 0 resolved against the
+// runner's default); callers inside the Runner use effectiveSeed. The field
+// order is pinned by TestRunKeyCanonicalForm — changing it silently would
+// split every persisted cache, so it must never churn.
+func RunKey(app string, scheme mc.Scheme, v Variant, seed int64) string {
+	return fmt.Sprintf("%s|%s|d%d|t%d|q%d|s%d|%s",
+		app, scheme.Name(), scheme.StaticDelay, scheme.StaticThRBL, v.QueueSize, seed, v.Tag)
+}
+
+// effectiveSeed resolves a variant's per-run seed against the runner default.
+func (r *Runner) effectiveSeed(v Variant) int64 {
+	if v.Seed != 0 {
+		return v.Seed
+	}
+	return r.opts.Seed
+}
+
 // runKey identifies one memoized simulation.
-func runKey(app string, scheme mc.Scheme, v Variant) string {
-	return fmt.Sprintf("%s|%s|d%d|t%d|q%d|%s",
-		app, scheme.Name(), scheme.StaticDelay, scheme.StaticThRBL, v.QueueSize, v.Tag)
+func (r *Runner) runKey(app string, scheme mc.Scheme, v Variant) string {
+	return RunKey(app, scheme, v, r.effectiveSeed(v))
 }
 
 // Run simulates app under scheme (memoized, singleflighted) and returns the
@@ -179,7 +207,7 @@ func (r *Runner) Run(app string, scheme mc.Scheme, v Variant) (*sim.Result, erro
 
 // run is Run with the span origin ("call" or "prefetch") made explicit.
 func (r *Runner) run(app string, scheme mc.Scheme, v Variant, origin string) (*sim.Result, error) {
-	key := runKey(app, scheme, v)
+	key := r.runKey(app, scheme, v)
 	sp := r.opts.RunLog.Begin(app, scheme.Name(), key, origin)
 	r.mu.Lock()
 	if e, ok := r.runs[key]; ok {
@@ -233,8 +261,9 @@ func (r *Runner) simulate(sp *obs.RunSpan, app string, scheme mc.Scheme, v Varia
 	// Resolve the golden output before taking a worker slot: Golden may wait
 	// on another goroutine's in-flight functional run, which must not happen
 	// while holding a slot that run's caller might be queued for.
+	seed := r.effectiveSeed(v)
 	sp.GoldenWait()
-	golden, err := r.Golden(app)
+	golden, err := r.goldenFor(app, seed)
 	if err != nil {
 		sp.Fail(err)
 		return nil, 0, err
@@ -248,7 +277,7 @@ func (r *Runner) simulate(sp *obs.RunSpan, app string, scheme mc.Scheme, v Varia
 		runtime.ReadMemStats(&before)
 	}
 	start := time.Now()
-	res, err := sim.Simulate(kern, cfg, scheme, r.opts.Seed)
+	res, err := sim.Simulate(kern, cfg, scheme, seed)
 	wall := time.Since(start)
 	var allocBytes, mallocs uint64
 	if logging {
@@ -278,7 +307,7 @@ func (r *Runner) simulate(sp *obs.RunSpan, app string, scheme mc.Scheme, v Varia
 // never requested.
 func (r *Runner) Timing(app string, scheme mc.Scheme, v Variant) (seconds float64, ok bool) {
 	r.mu.Lock()
-	e := r.runs[runKey(app, scheme, v)]
+	e := r.runs[r.runKey(app, scheme, v)]
 	r.mu.Unlock()
 	if e == nil {
 		return 0, false
@@ -331,18 +360,25 @@ func (r *Runner) PrefetchSchemes(apps []string, schemes ...mc.Scheme) {
 }
 
 // Golden returns (computing once, singleflighted) the exact functional
-// output of app. The error is the workloads.New lookup error for an unknown
-// app, so a misspelled name surfaces instead of scoring every run against a
-// nil output.
+// output of app under the runner's default seed. The error is the
+// workloads.New lookup error for an unknown app, so a misspelled name
+// surfaces instead of scoring every run against a nil output.
 func (r *Runner) Golden(app string) ([]float32, error) {
+	return r.goldenFor(app, r.opts.Seed)
+}
+
+// goldenFor is Golden keyed by (app, seed): runs with a per-variant seed
+// override score against the functional output of their own seed.
+func (r *Runner) goldenFor(app string, seed int64) ([]float32, error) {
+	key := fmt.Sprintf("%s|s%d", app, seed)
 	r.mu.Lock()
-	if e, ok := r.golden[app]; ok {
+	if e, ok := r.golden[key]; ok {
 		r.mu.Unlock()
 		<-e.done
 		return e.out, e.err
 	}
 	e := &goldenEntry{done: make(chan struct{})}
-	r.golden[app] = e
+	r.golden[key] = e
 	r.mu.Unlock()
 
 	kern, err := workloads.New(app)
@@ -351,15 +387,45 @@ func (r *Runner) Golden(app string) ([]float32, error) {
 		// Mirror run's retry semantics: drop the failed entry before waking
 		// waiters so a later Golden call re-resolves instead of replaying.
 		r.mu.Lock()
-		if r.golden[app] == e {
-			delete(r.golden, app)
+		if r.golden[key] == e {
+			delete(r.golden, key)
 		}
 		r.mu.Unlock()
 	} else {
-		e.out = sim.RunFunctional(kern, r.opts.Seed)
+		e.out = sim.RunFunctional(kern, seed)
 	}
 	close(e.done)
 	return e.out, e.err
+}
+
+// Stats is a point-in-time snapshot of the runner's execution state, exposed
+// so a long-running host (the lazyd daemon) can report pool pressure without
+// reaching into the run log.
+type Stats struct {
+	// Workers is the worker-pool size (Options.Workers after defaulting).
+	Workers int `json:"workers"`
+	// Busy is the number of worker slots currently executing a simulation.
+	Busy int `json:"busy"`
+	// Runs is the number of memoized run entries (in flight or completed;
+	// failed entries are uncached and do not count).
+	Runs int `json:"runs"`
+	// Golden is the number of memoized (app, seed) functional outputs.
+	Golden int `json:"golden"`
+}
+
+// Stats snapshots the runner. Busy is read from the slot channel, so it is
+// exact at the instant of the call but immediately stale; use it for
+// monitoring, not for scheduling decisions.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	runs, golden := len(r.runs), len(r.golden)
+	r.mu.Unlock()
+	return Stats{
+		Workers: r.opts.Workers,
+		Busy:    r.opts.Workers - len(r.slots),
+		Runs:    runs,
+		Golden:  golden,
+	}
 }
 
 // DMSScheme is Static-DMS with the given delay; run keys built from it match

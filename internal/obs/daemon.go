@@ -1,0 +1,86 @@
+package obs
+
+// Daemon-level metric families for lazyd, the simulation-as-a-service
+// daemon. These sit one layer above the sweep families in runlog.go: where
+// lazysim_sweep_* watches one Runner's lifecycle spans, lazyd_* watches the
+// service wrapped around it — job admission, the bounded queue, and the
+// content-addressed result cache. Keeping the family definitions here (with
+// the other observability vocabulary) rather than in internal/service keeps
+// every exported metric name in one package, so the metric-name contract
+// tests and docs have a single place to look.
+
+// Daemon job-outcome label values for lazyd_jobs_total{state}. Every
+// submitted job is counted exactly once under submitted, and exactly once
+// under one of the terminal outcomes.
+const (
+	JobSubmitted = "submitted"    // accepted into the daemon (any outcome)
+	JobCacheHit  = "cache_hit"    // served verbatim from the result cache
+	JobDeduped   = "dedup_joined" // attached to an identical in-flight job
+	JobExecuted  = "executed"     // ran a simulation to completion
+	JobErrored   = "error"        // simulation or encoding failed
+	JobRejected  = "rejected"     // refused at admission (bad spec or queue full)
+	JobCanceled  = "canceled"     // daemon shut down before the job ran
+)
+
+// DaemonMetrics is the registry slice owned by the lazyd service layer.
+type DaemonMetrics struct {
+	// Jobs counts job outcomes by state label (see the Job* constants).
+	Jobs *Family
+
+	// QueueDepth is the number of accepted jobs waiting for a dispatcher;
+	// InFlight the number currently executing (dedupe leaders only).
+	QueueDepth *Metric
+	InFlight   *Metric
+
+	// Cache counters and gauges for the content-addressed result cache.
+	CacheHits      *Metric
+	CacheMisses    *Metric
+	CacheEvictions *Metric
+	CacheEntries   *Metric
+	CacheBytes     *Metric
+
+	// Disk-spill traffic: documents written to and reloaded from the spill
+	// directory.
+	SpillWrites *Metric
+	SpillReads  *Metric
+}
+
+// NewDaemonMetrics registers the lazyd families on the registry. A nil
+// registry returns nil; the service layer guards every update with a nil
+// check (or uses the nil-safe JobOutcome helper), so running without
+// -metrics-addr costs nothing.
+func NewDaemonMetrics(r *Registry) *DaemonMetrics {
+	if r == nil {
+		return nil
+	}
+	return &DaemonMetrics{
+		Jobs: r.Register("lazyd_jobs_total",
+			"Daemon job outcomes by state", KindCounter, "state"),
+		QueueDepth: r.Gauge("lazyd_queue_depth",
+			"Accepted jobs waiting for a dispatcher"),
+		InFlight: r.Gauge("lazyd_jobs_inflight",
+			"Jobs currently executing a simulation"),
+		CacheHits: r.Counter("lazyd_cache_hits_total",
+			"Jobs served verbatim from the result cache"),
+		CacheMisses: r.Counter("lazyd_cache_misses_total",
+			"Job keys not found in the result cache"),
+		CacheEvictions: r.Counter("lazyd_cache_evictions_total",
+			"Result documents evicted from the in-memory cache"),
+		CacheEntries: r.Gauge("lazyd_cache_entries",
+			"Result documents resident in the in-memory cache"),
+		CacheBytes: r.Gauge("lazyd_cache_bytes",
+			"Bytes of result documents resident in the in-memory cache"),
+		SpillWrites: r.Counter("lazyd_cache_spill_writes_total",
+			"Result documents written to the disk spill directory"),
+		SpillReads: r.Counter("lazyd_cache_spill_reads_total",
+			"Result documents reloaded from the disk spill directory"),
+	}
+}
+
+// JobOutcome bumps lazyd_jobs_total{state}. Nil-safe.
+func (m *DaemonMetrics) JobOutcome(state string) {
+	if m == nil {
+		return
+	}
+	m.Jobs.With(state).Add(1)
+}

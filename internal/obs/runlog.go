@@ -501,25 +501,8 @@ func (l *RunLog) Summary() *SweepSummary {
 	wallUS := l.nowLocked()
 	var busyUS int64
 	for _, sp := range l.spans {
-		j := RunSpanJSON{
-			ID: sp.id, App: sp.app, Scheme: sp.scheme, Key: sp.key,
-			Origin: sp.origin, State: sp.state.String(), Worker: sp.worker,
-			Target: sp.target, Prefetch: sp.prefetch, Err: sp.err,
-			SubmittedUS: sp.submittedUS, StartedUS: sp.startedUS,
-			FinishedUS: sp.finishedUS,
-			SimCycles:  sp.simCycles, AllocBytes: sp.allocBytes,
-			Mallocs: sp.mallocs, Joins: sp.joins,
-		}
-		if sp.queuedUS >= 0 && sp.startedUS >= 0 {
-			j.QueueWaitUS = sp.startedUS - sp.queuedUS
-		}
-		if sp.startedUS >= 0 && sp.finishedUS >= 0 {
-			j.WallUS = sp.finishedUS - sp.startedUS
-			busyUS += j.WallUS
-			if j.WallUS > 0 {
-				j.CyclesPerSec = float64(sp.simCycles) / (float64(j.WallUS) / usPerSec)
-			}
-		}
+		j := l.snapshotLocked(sp)
+		busyUS += j.WallUS
 		if sp.state == RunJoined && sp.prefetch {
 			s.PrefetchHits++
 		}
@@ -547,6 +530,48 @@ func (l *RunLog) Summary() *SweepSummary {
 		t.Mallocs += sp.mallocs
 	}
 	return s
+}
+
+// snapshotLocked builds the serializable view of one span.
+func (l *RunLog) snapshotLocked(sp *RunSpan) RunSpanJSON {
+	j := RunSpanJSON{
+		ID: sp.id, App: sp.app, Scheme: sp.scheme, Key: sp.key,
+		Origin: sp.origin, State: sp.state.String(), Worker: sp.worker,
+		Target: sp.target, Prefetch: sp.prefetch, Err: sp.err,
+		SubmittedUS: sp.submittedUS, StartedUS: sp.startedUS,
+		FinishedUS: sp.finishedUS,
+		SimCycles:  sp.simCycles, AllocBytes: sp.allocBytes,
+		Mallocs: sp.mallocs, Joins: sp.joins,
+	}
+	if sp.queuedUS >= 0 && sp.startedUS >= 0 {
+		j.QueueWaitUS = sp.startedUS - sp.queuedUS
+	}
+	if sp.startedUS >= 0 && sp.finishedUS >= 0 {
+		j.WallUS = sp.finishedUS - sp.startedUS
+		if j.WallUS > 0 {
+			j.CyclesPerSec = float64(sp.simCycles) / (float64(j.WallUS) / usPerSec)
+		}
+	}
+	return j
+}
+
+// SpanByKey snapshots the most recent span carrying the given run key —
+// executing or terminal. The lazyd daemon uses it to map a job's canonical
+// run key onto the Runner's live lifecycle state (golden-wait, queued,
+// running, done, error) without the service layer duplicating the state
+// machine. Returns ok=false for a nil log or an unseen key.
+func (l *RunLog) SpanByKey(key string) (RunSpanJSON, bool) {
+	if l == nil {
+		return RunSpanJSON{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := len(l.spans) - 1; i >= 0; i-- {
+		if sp := l.spans[i]; sp.key == key && sp.state != RunJoined {
+			return l.snapshotLocked(sp), true
+		}
+	}
+	return RunSpanJSON{}, false
 }
 
 // WriteEventsJSONL writes the event log, one JSON object per line, in

@@ -1,4 +1,4 @@
-package main
+package report
 
 // HTML assembly. One self-contained page: inline <style> only, inline SVG
 // only, no scripts, no fonts, no fetches. Light and dark render from the
@@ -89,7 +89,7 @@ line.axis { stroke: var(--axis); stroke-width: 1; }
 .q8{fill:var(--q8)}.q9{fill:var(--q9)}.q10{fill:var(--q10)}.q11{fill:var(--q11)}
 `
 
-func buildHTML(docs []*runDoc) string {
+func BuildHTML(docs []*Doc) string {
 	var b strings.Builder
 	b.WriteString("<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
 	b.WriteString("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n")
@@ -158,7 +158,7 @@ func mini(b *strings.Builder, caption, svg string) {
 
 // --- per-document sections --------------------------------------------------
 
-func writeDoc(b *strings.Builder, d *runDoc, named bool) {
+func writeDoc(b *strings.Builder, d *Doc, named bool) {
 	suffix := ""
 	if named {
 		suffix = " — " + d.title()
@@ -442,7 +442,7 @@ func writeStagesSection(b *strings.Builder, stages []stageSummary, suffix string
 	b.WriteString("</div>\n</section>\n")
 }
 
-func writeHeatmapSection(b *strings.Builder, d *runDoc, suffix string) {
+func writeHeatmapSection(b *strings.Builder, d *Doc, suffix string) {
 	if len(d.EnergyByChannel) == 0 {
 		return
 	}
@@ -677,25 +677,25 @@ func writeHostPhases(b *strings.Builder, hp *censusHost) {
 
 // --- two-document comparison ------------------------------------------------
 
-func writeComparison(b *strings.Builder, a, c *runDoc) {
+func writeComparison(b *strings.Builder, a, c *Doc) {
 	openSection(b, "Comparison", fmt.Sprintf("A = %s, B = %s; Δ%% is relative to A.", a.title(), c.title()))
 	type metric struct {
 		name string
-		get  func(*runDoc) float64
+		get  func(*Doc) float64
 	}
 	metrics := []metric{
-		{"IPC", func(d *runDoc) float64 { return d.IPC }},
-		{"BW utilisation", func(d *runDoc) float64 { return d.BWUtil }},
-		{"AMS coverage", func(d *runDoc) float64 { return d.Coverage }},
-		{"app error", func(d *runDoc) float64 { return d.AppError }},
-		{"row energy (nJ)", func(d *runDoc) float64 { return d.RowEnergyNJ }},
-		{"mem energy (nJ)", func(d *runDoc) float64 { return d.MemEnergyNJ }},
-		{"activations", func(d *runDoc) float64 { return float64(d.Activations) }},
-		{"dropped reads", func(d *runDoc) float64 { return float64(d.Dropped) }},
-		{"avg RBL", func(d *runDoc) float64 { return d.AvgRBL }},
-		{"queue occupancy", func(d *runDoc) float64 { return d.QueueOcc }},
-		{"mean delay", func(d *runDoc) float64 { return d.MeanDelay }},
-		{"mean thRBL", func(d *runDoc) float64 { return d.MeanThRBL }},
+		{"IPC", func(d *Doc) float64 { return d.IPC }},
+		{"BW utilisation", func(d *Doc) float64 { return d.BWUtil }},
+		{"AMS coverage", func(d *Doc) float64 { return d.Coverage }},
+		{"app error", func(d *Doc) float64 { return d.AppError }},
+		{"row energy (nJ)", func(d *Doc) float64 { return d.RowEnergyNJ }},
+		{"mem energy (nJ)", func(d *Doc) float64 { return d.MemEnergyNJ }},
+		{"activations", func(d *Doc) float64 { return float64(d.Activations) }},
+		{"dropped reads", func(d *Doc) float64 { return float64(d.Dropped) }},
+		{"avg RBL", func(d *Doc) float64 { return d.AvgRBL }},
+		{"queue occupancy", func(d *Doc) float64 { return d.QueueOcc }},
+		{"mean delay", func(d *Doc) float64 { return d.MeanDelay }},
+		{"mean thRBL", func(d *Doc) float64 { return d.MeanThRBL }},
 	}
 	var rows [][]string
 	for _, m := range metrics {
@@ -733,7 +733,7 @@ func writeComparison(b *strings.Builder, a, c *runDoc) {
 	b.WriteString("</section>\n")
 }
 
-func auditReasonMap(d *runDoc) map[string]uint64 {
+func auditReasonMap(d *Doc) map[string]uint64 {
 	out := map[string]uint64{}
 	if d.Telemetry == nil || d.Telemetry.Audit == nil {
 		return out

@@ -1,4 +1,4 @@
-package main
+package report
 
 // Hand-rolled inline SVG charts. Everything renders into static markup with
 // CSS-class styling (classes resolve to custom properties declared in the

@@ -1,0 +1,134 @@
+// Package rundoc builds the canonical machine-readable run document — the
+// JSON emitted by `lazysim -json`, compared by lazycmp, rendered by
+// lazyreport, and served by the lazyd daemon. Keeping the document shape and
+// construction in one place is what makes "the daemon serves exactly what
+// the CLI prints" true by construction rather than by parallel maintenance:
+// both call Build on the same sim.Result and encode the same struct.
+package rundoc
+
+import (
+	"bytes"
+	"encoding/json"
+	"time"
+
+	"lazydram/internal/buildinfo"
+	"lazydram/internal/energy"
+	"lazydram/internal/obs"
+	"lazydram/internal/sim"
+	"lazydram/internal/stats"
+)
+
+// Meta carries document provenance (skipped by lazycmp, so baselines
+// recorded on different commits don't churn).
+type Meta struct {
+	Build buildinfo.Build `json:"build"`
+}
+
+// Doc is the machine-readable run summary: the same totals as the text stat
+// block, plus the telemetry digest. Field names are the stable contract
+// lazycmp flattens; never rename them.
+type Doc struct {
+	Meta         Meta    `json:"meta"`
+	App          string  `json:"app"`
+	Scheme       string  `json:"scheme"`
+	Seed         int64   `json:"seed"`
+	CoreCycles   uint64  `json:"core_cycles"`
+	Instructions uint64  `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+
+	Activations uint64  `json:"activations"`
+	Reads       uint64  `json:"reads"`
+	Writes      uint64  `json:"writes"`
+	AvgRBL      float64 `json:"avg_rbl"`
+	BWUtil      float64 `json:"bwutil"`
+	Coverage    float64 `json:"coverage"`
+	Dropped     uint64  `json:"dropped"`
+	QueueOcc    float64 `json:"queue_occ"`
+
+	RowEnergyNJ float64 `json:"row_energy_nj"`
+	MemEnergyNJ float64 `json:"mem_energy_nj"`
+	AppError    float64 `json:"app_error"`
+
+	FinalDelay int     `json:"final_delay"`
+	FinalThRBL int     `json:"final_th_rbl"`
+	MeanDelay  float64 `json:"mean_delay"`
+	MeanThRBL  float64 `json:"mean_th_rbl"`
+
+	L1Accesses uint64 `json:"l1_accesses"`
+	L1Misses   uint64 `json:"l1_misses"`
+	L2Accesses uint64 `json:"l2_accesses"`
+	L2Misses   uint64 `json:"l2_misses"`
+
+	VPPredictions uint64 `json:"vp_predictions"`
+	VPFallbacks   uint64 `json:"vp_fallbacks"`
+
+	WallMS float64 `json:"wall_ms"`
+
+	// EnergyByChannel is the per-channel × per-bank energy attribution;
+	// HottestBanks the top-N banks by row energy across the whole system.
+	EnergyByChannel []energy.ChannelEnergy `json:"energy_by_channel,omitempty"`
+	HottestBanks    []energy.HotBank       `json:"hottest_banks,omitempty"`
+
+	Telemetry *obs.Telemetry `json:"telemetry,omitempty"`
+}
+
+// Build assembles the document from a finished run.
+func Build(r *stats.Run, res *sim.Result, seed int64, wall time.Duration, topBanks int) Doc {
+	ch := r.Mem.Channels()
+	if ch < 1 {
+		ch = 1
+	}
+	occ := 0.0
+	if r.Mem.Cycles > 0 {
+		occ = float64(r.Mem.QueueOccSum) / float64(r.Mem.Cycles*uint64(ch))
+	}
+	return Doc{
+		Meta:         Meta{Build: buildinfo.Get()},
+		App:          r.App,
+		Scheme:       r.Scheme,
+		Seed:         seed,
+		CoreCycles:   r.CoreCycles,
+		Instructions: r.Instructions,
+		IPC:          r.IPC(),
+		Activations:  r.Mem.Activations,
+		Reads:        r.Mem.Reads,
+		Writes:       r.Mem.Writes,
+		AvgRBL:       r.Mem.AvgRBL(),
+		BWUtil:       r.Mem.BWUtil(),
+		Coverage:     r.Mem.Coverage(),
+		Dropped:      r.Mem.Dropped,
+		QueueOcc:     occ,
+		RowEnergyNJ:  r.RowEnergy,
+		MemEnergyNJ:  r.MemEnergy,
+		AppError:     r.AppError,
+		FinalDelay:   r.FinalDelay,
+		FinalThRBL:   r.FinalThRBL,
+		MeanDelay:    r.Mem.MeanDelay(),
+		MeanThRBL:    r.Mem.MeanThRBL(),
+		L1Accesses:   r.L1Accesses,
+		L1Misses:     r.L1Misses,
+		L2Accesses:   r.L2Accesses,
+		L2Misses:     r.L2Misses,
+
+		VPPredictions: res.VPPredictions,
+		VPFallbacks:   res.VPFallbacks,
+		WallMS:        float64(wall.Microseconds()) / 1000,
+
+		EnergyByChannel: res.EnergyByChannel,
+		HottestBanks:    energy.TopBanks(res.EnergyByChannel, topBanks),
+
+		Telemetry: res.Telemetry,
+	}
+}
+
+// Encode serializes the document exactly as `lazysim -json` prints it: one
+// compact encoding/json object terminated by a newline. The daemon caches
+// and serves these bytes verbatim, so a cached result is byte-identical to
+// the stream a direct CLI run would have produced.
+func Encode(d Doc) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
